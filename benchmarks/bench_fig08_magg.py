@@ -1,0 +1,86 @@
+"""Figure 8(c,d): Multi-aggregate operations — sum(X⊙Y), sum(X⊙Z).
+
+The two aggregates share input X, qualifying as a single multi-
+aggregate operator.  Expected shape: hand-coded Fused (and the FA/FNR
+heuristics) apply to each sum individually and read X twice; Gen
+compiles one MAgg operator with a 2x1 output and reads X once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.bench.harness import run_modes
+from repro.compiler.execution import Engine
+from repro.runtime.matrix import MatrixBlock
+
+MODES = ["numpy", "base", "fused", "gen-fa", "gen"]
+SIZES = [100_000, 1_000_000, 4_000_000]
+_CACHE: dict = {}
+
+
+def _inputs(cells: int, sparse: bool):
+    key = (cells, sparse)
+    if key not in _CACHE:
+        rows = cells // 1000
+        if sparse:
+            _CACHE[key] = tuple(
+                MatrixBlock.rand(rows, 1000, sparsity=0.1, seed=s, low=0.1, high=1.0)
+                for s in (4, 5, 6)
+            )
+        else:
+            _CACHE[key] = tuple(MatrixBlock.rand(rows, 1000, seed=s) for s in (4, 5, 6))
+    return _CACHE[key]
+
+
+def _build(blocks):
+    x, y, z = (api.matrix(b, n) for b, n in zip(blocks, "XYZ"))
+    return [(x * y).sum(), (x * z).sum()]
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("cells", SIZES)
+@pytest.mark.parametrize("mode", MODES)
+def test_fig08c_magg_dense(benchmark, cells, mode):
+    blocks = _inputs(cells, sparse=False)
+    engine = Engine(mode=mode)
+
+    def evaluate():
+        return api.eval_all(_build(blocks), engine=engine)
+
+    evaluate()
+    benchmark.pedantic(evaluate, rounds=3, iterations=1)
+    benchmark.extra_info["cells"] = cells
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("cells", SIZES)
+@pytest.mark.parametrize("mode", MODES)
+def test_fig08d_magg_sparse(benchmark, cells, mode):
+    blocks = _inputs(cells, sparse=True)
+    engine = Engine(mode=mode)
+
+    def evaluate():
+        return api.eval_all(_build(blocks), engine=engine)
+
+    evaluate()
+    benchmark.pedantic(evaluate, rounds=3, iterations=1)
+    benchmark.extra_info["cells"] = cells
+
+
+@pytest.mark.bench
+def test_fig08_magg_compiles_multi_aggregate(benchmark):
+    """Gen must compile one MAgg operator; FA must not (paper text)."""
+
+    def run():
+        blocks = _inputs(100_000, sparse=False)
+        gen = Engine(mode="gen")
+        api.eval_all(_build(blocks), engine=gen)
+        assert gen.stats.spoof_executions.get("MAgg", 0) == 1
+
+        fa = Engine(mode="gen-fa")
+        api.eval_all(_build(blocks), engine=fa)
+        assert fa.stats.spoof_executions.get("MAgg", 0) == 0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

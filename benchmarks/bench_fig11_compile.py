@@ -1,0 +1,93 @@
+"""Figure 11: Java class compilation and loading — janino vs javac,
+with and without the plan cache.
+
+Substitution: the fast in-memory ``exec`` backend stands in for janino
+and the heavyweight write-to-disk + byte-compile + import backend for
+javac.  Measured per algorithm: total operator-compilation time under
+the four configurations.  Expected shape: the fast backend wins by an
+order of magnitude or more, and the plan cache removes most
+compilations for algorithms with dynamic recompilation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import kmeans, l2svm, mlogreg
+from repro.compiler.execution import Engine
+from repro.config import CodegenConfig
+from repro.data import generators
+
+_CACHE: dict = {}
+
+
+def _data():
+    if not _CACHE:
+        x, y = generators.classification_data(2000, 40, n_classes=2, seed=41)
+        _CACHE["x"], _CACHE["y"] = x, y
+        xm, labels = generators.classification_data(2000, 40, n_classes=4, seed=42)
+        _CACHE["xm"], _CACHE["labels"] = xm, labels
+    return _CACHE
+
+
+ALGOS = {
+    "L2SVM": lambda d, e: l2svm(d["x"], d["y"], engine=e, max_iter=6),
+    "MLogreg": lambda d, e: mlogreg(d["xm"], d["labels"], 4, engine=e,
+                                    max_iter=3, max_inner=4),
+    "KMeans": lambda d, e: kmeans(d["x"], n_centroids=4, engine=e, max_iter=6),
+}
+
+CONFIGS = {
+    "janino-cache": dict(compiler="exec", plan_cache_enabled=True),
+    "janino-nocache": dict(compiler="exec", plan_cache_enabled=False),
+    "javac-cache": dict(compiler="file", plan_cache_enabled=True),
+    "javac-nocache": dict(compiler="file", plan_cache_enabled=False),
+}
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("algo", list(ALGOS))
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+def test_fig11_compile_configs(benchmark, algo, config_name):
+    data = _data()
+    holder = {}
+
+    def run():
+        config = CodegenConfig(**CONFIGS[config_name])
+        engine = Engine(mode="gen", config=config)
+        ALGOS[algo](data, engine)
+        holder["stats"] = engine.stats
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = holder["stats"]
+    benchmark.extra_info.update(
+        {
+            "class_compile_ms": round(stats.class_compile_seconds * 1e3, 2),
+            "n_classes": stats.n_classes_compiled,
+            "cache_hits": stats.plan_cache_hits,
+        }
+    )
+
+
+@pytest.mark.bench
+def test_fig11_shapes(benchmark):
+    """Fast backend beats the file backend; the cache cuts compiles."""
+
+    def run():
+        data = _data()
+
+        def compile_seconds(**kwargs):
+            engine = Engine(mode="gen", config=CodegenConfig(**kwargs))
+            ALGOS["L2SVM"](data, engine)
+            return engine.stats
+
+        fast_nc = compile_seconds(compiler="exec", plan_cache_enabled=False)
+        slow_nc = compile_seconds(compiler="file", plan_cache_enabled=False)
+        fast_c = compile_seconds(compiler="exec", plan_cache_enabled=True)
+
+        assert slow_nc.class_compile_seconds > 3 * fast_nc.class_compile_seconds
+        assert fast_c.n_classes_compiled < fast_nc.n_classes_compiled
+        benchmark.extra_info["janino_ms"] = round(fast_nc.class_compile_seconds * 1e3, 2)
+        benchmark.extra_info["javac_ms"] = round(slow_nc.class_compile_seconds * 1e3, 2)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""Figure 13: Hybrid algorithms — increasing size of intermediates.
+
+MLogreg over #classes and KMeans over #centroids on dense data
+(paper: 1e7 x 100; reproduction: 4e4 x 100).  These algorithms shift
+from memory-bandwidth-bound to compute-bound as k grows; intermediates
+of size n x k grow with k and penalize Base/Fused more than Gen.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import kmeans, mlogreg
+from repro.compiler.execution import Engine
+from repro.data import generators
+
+MODES = ["base", "fused", "gen", "gen-fa", "gen-fnr"]
+_CACHE: dict = {}
+
+
+def _mlogreg_data(k: int):
+    key = ("ml", k)
+    if key not in _CACHE:
+        _CACHE[key] = generators.classification_data(
+            40_000, 100, n_classes=k, seed=70 + k
+        )
+    return _CACHE[key]
+
+
+def _kmeans_data():
+    if "km" not in _CACHE:
+        _CACHE["km"] = generators.clustering_data(40_000, 100, n_centers=8, seed=77)
+    return _CACHE["km"]
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("k", [2, 5, 10])
+@pytest.mark.parametrize("mode", MODES)
+def test_fig13a_mlogreg_classes(benchmark, k, mode):
+    x, labels = _mlogreg_data(k)
+    engine = Engine(mode=mode)
+
+    def run():
+        return mlogreg(x, labels, k, engine=engine, max_iter=2, max_inner=3)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n_classes"] = k
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("k", [5, 10, 20])
+@pytest.mark.parametrize("mode", MODES)
+def test_fig13b_kmeans_centroids(benchmark, k, mode):
+    x = _kmeans_data()
+    engine = Engine(mode=mode)
+
+    def run():
+        return kmeans(x, n_centroids=k, engine=engine, max_iter=3)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n_centroids"] = k

@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark test
+measures one (workload, engine) cell of a paper table/figure; the
+pytest-benchmark report provides the cross-engine comparison that the
+paper plots.  Workload sizes are scaled down from the paper's cluster
+scale by factors recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "bench: benchmark reproduction tests")
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Benchmark a callable exactly once per round (end-to-end runs)."""
+
+    def run(func, warmup_func=None, rounds: int = 1):
+        if warmup_func is not None:
+            warmup_func()
+        return benchmark.pedantic(func, rounds=rounds, iterations=1,
+                                  warmup_rounds=0)
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,52 @@
+"""Recommender-system example: ALS-CG on a Netflix-like rating matrix.
+
+Demonstrates the sparsity-exploiting Outer template on the paper's
+Expression (1): with basic operators the update rules would materialize
+the dense U V^T; the codegen optimizer compiles fused outer-product
+operators instead, keeping every iteration proportional to the number
+of observed ratings.
+
+Run:  python examples/als_recommender.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.algorithms import als_cg
+from repro.compiler.execution import Engine
+from repro.data import generators
+
+
+def main():
+    ratings = generators.netflix_like(rows=8000, cols=800, seed=11)
+    print(
+        f"rating matrix: {ratings.rows} users x {ratings.cols} items, "
+        f"{ratings.nnz} ratings (density {ratings.sparsity:.4f})"
+    )
+
+    engine = Engine(mode="gen")
+    start = time.perf_counter()
+    result = als_cg(ratings, rank=12, engine=engine, max_iter=5, seed=1)
+    elapsed = time.perf_counter() - start
+
+    print(f"trained rank-12 factorization in {elapsed:.2f}s "
+          f"({result.n_outer_iterations} outer iterations)")
+    print("loss trajectory:", [f"{l:.1f}" for l in result.losses])
+    print("fused operators executed:", dict(engine.stats.spoof_executions))
+
+    # Recommend: top items for one user from the factor model.
+    u = result.model["U"].to_dense()
+    v = result.model["V"].to_dense()
+    user = 42
+    scores = v @ u[user]
+    seen = set(ratings.to_csr()[user].indices)
+    top = [i for i in np.argsort(-scores) if i not in seen][:5]
+    print(f"top-5 unseen items for user {user}: {top}")
+
+    outer_runs = engine.stats.spoof_executions.get("Outer", 0)
+    assert outer_runs > 0, "expected sparsity-exploiting Outer operators"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro: reproduction of SystemML's cost-based operator-fusion optimizer.
+
+Boehm et al., "On Optimizing Operator Fusion Plans for Large-Scale
+Machine Learning in SystemML", VLDB 2018.
+
+Public entry points:
+
+* :mod:`repro.api` -- lazy linear-algebra expressions building HOP DAGs,
+* :class:`repro.compiler.execution.Engine` -- execution engines
+  (``base``, ``fused``, ``gen``, ``gen-fa``, ``gen-fnr``),
+* :mod:`repro.algorithms` -- the six ML algorithms of the evaluation,
+* :mod:`repro.data.generators` -- synthetic datasets and stand-ins.
+"""
+
+from repro.config import CodegenConfig, ClusterConfig, DEFAULT_CONFIG
+from repro.runtime.matrix import MatrixBlock
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CodegenConfig",
+    "ClusterConfig",
+    "DEFAULT_CONFIG",
+    "MatrixBlock",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""The six ML algorithms of the paper's evaluation (Table 2).
+
+Each algorithm is implemented against the lazy expression API with
+per-iteration DAG construction — the reproduction of SystemML's
+statement blocks plus dynamic recompilation.  All algorithms accept an
+execution engine, so every experimental configuration (Base / Fused /
+Gen / Gen-FA / Gen-FNR) runs the identical algorithm code.
+"""
+
+from repro.algorithms.l2svm import l2svm
+from repro.algorithms.mlogreg import mlogreg
+from repro.algorithms.glm import glm_binomial_probit
+from repro.algorithms.kmeans import kmeans
+from repro.algorithms.als_cg import als_cg
+from repro.algorithms.autoencoder import autoencoder
+
+__all__ = [
+    "l2svm",
+    "mlogreg",
+    "glm_binomial_probit",
+    "kmeans",
+    "als_cg",
+    "autoencoder",
+]

@@ -1,0 +1,46 @@
+"""Shared helpers for the algorithm implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import api
+from repro.runtime.matrix import MatrixBlock
+
+
+@dataclass
+class FitResult:
+    """Outcome of one algorithm run."""
+
+    model: dict
+    losses: list[float] = field(default_factory=list)
+    n_outer_iterations: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def default_engine():
+    from repro.compiler.execution import Engine
+
+    return Engine(mode="gen")
+
+
+def as_block(value) -> MatrixBlock:
+    """Coerce user input to a MatrixBlock."""
+    if isinstance(value, MatrixBlock):
+        return value
+    return MatrixBlock(np.asarray(value, dtype=np.float64))
+
+
+def leaf(block: MatrixBlock, name: str) -> api.Mat:
+    """Fresh input leaf (per-iteration DAG construction)."""
+    return api.matrix(block, name=name)
+
+
+def evaluate(engine, *exprs):
+    """Evaluate expressions as one statement-block DAG."""
+    return api.eval_all(list(exprs), engine=engine)

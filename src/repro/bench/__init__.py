@@ -1,0 +1,5 @@
+"""Benchmark support utilities."""
+
+from repro.bench.harness import BenchResult, run_modes, time_once
+
+__all__ = ["BenchResult", "run_modes", "time_once"]

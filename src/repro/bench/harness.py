@@ -1,0 +1,73 @@
+"""Shared helpers for the benchmark suite (benchmarks/).
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation.  Helpers here time expression evaluations under the
+experimental engine configurations and collect rows for the printed
+summaries that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro import api
+from repro.compiler.execution import Engine
+from repro.config import CodegenConfig
+
+
+@dataclass
+class BenchResult:
+    """Timings by engine mode for one workload configuration."""
+
+    label: str
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, baseline: str, mode: str) -> float:
+        return self.seconds[baseline] / max(self.seconds[mode], 1e-12)
+
+    def row(self, modes: list[str]) -> str:
+        cells = "  ".join(f"{self.seconds.get(m, float('nan'))*1e3:10.1f}" for m in modes)
+        return f"{self.label:<28}{cells}"
+
+
+def time_once(func) -> float:
+    """Wall-clock one invocation."""
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+def time_best(func, repeats: int = 3) -> float:
+    """Best of ``repeats`` invocations (after the caller's warmup)."""
+    return min(time_once(func) for _ in range(repeats))
+
+
+def run_modes(build_exprs, modes: list[str], repeats: int = 3,
+              config_factory=None, warmup: bool = True) -> dict[str, float]:
+    """Time ``eval_all(build_exprs())`` under each engine mode.
+
+    A fresh engine per mode; one warmup run compiles fused operators so
+    measured runs hit the plan cache (the paper reports post-JIT means).
+    """
+    results: dict[str, float] = {}
+    for mode in modes:
+        config = config_factory() if config_factory is not None else CodegenConfig()
+        engine = Engine(mode=mode, config=config)
+
+        def evaluate():
+            return api.eval_all(build_exprs(), engine=engine)
+
+        if warmup:
+            evaluate()
+        results[mode] = time_best(evaluate, repeats)
+    return results
+
+
+def print_table(title: str, modes: list[str], results: list[BenchResult]) -> None:
+    """Print a paper-style results table (milliseconds)."""
+    header = f"{'workload':<28}" + "  ".join(f"{m:>10}" for m in modes)
+    print(f"\n=== {title} (ms) ===")
+    print(header)
+    for result in results:
+        print(result.row(modes))

@@ -1,0 +1,5 @@
+"""Codegen optimizer: candidate exploration, selection, code generation."""
+
+from repro.codegen.template import TemplateType
+
+__all__ = ["TemplateType"]

@@ -1,0 +1,434 @@
+"""Analytical cost model for DAG-structured fusion plans (Section 4.3).
+
+Costs of a plan partition under an assignment of interesting points:
+
+    C(P|q) = sum over operators p of ( T^w_p + max(T^r_p, T^c_p) )
+
+Read and write times derive from input/output sizes normalized by peak
+bandwidths, compute time from FLOPs normalized by peak compute; taking
+``max(T^r, T^c)`` adapts to I/O- versus compute-bound operators.
+Sparsity-exploiting operators scale their estimates by the sparsity of
+the main input.  Cost vectors per fused operator capture shared reads
+and redundant compute of overlapping operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.codegen.memo import MemoEntry, MemoTable
+from repro.codegen.template import TemplateType
+from repro.codegen.partitions import PlanPartition
+from repro.config import CodegenConfig
+from repro.hops import memory
+from repro.hops.hop import AggBinaryOp, BinaryOp, Hop, UnaryOp
+from repro.hops.types import OpKind, SPARSE_SAFE_UNARY
+
+INFINITE = math.inf
+
+# Cell operations safe over non-zeros of the main input.
+_CELL_SPARSE_SAFE_BINARY = {"*"}
+
+
+@dataclass
+class CostVector:
+    """Per fused operator: output, distinct inputs, compute workload."""
+
+    ttype: TemplateType | None
+    output: Hop
+    flops: float = 0.0
+    inputs: dict[int, Hop] = field(default_factory=dict)
+    covered: list[Hop] = field(default_factory=list)
+    visited: set[int] = field(default_factory=set)
+    entries: dict[int, MemoEntry] = field(default_factory=dict)
+
+    def add_input(self, hop: Hop) -> None:
+        self.inputs.setdefault(hop.id, hop)
+
+
+@dataclass
+class OperatorPlan:
+    """A selected (possibly fused) operator and its cover."""
+
+    root: Hop
+    ttype: TemplateType | None
+    entries: dict[int, MemoEntry]
+    covered: list[Hop]
+    inputs: list[Hop]
+    time: float
+    sparse_safe: bool = False
+
+    @property
+    def n_covered(self) -> int:
+        return len(self.covered)
+
+
+class CostEstimator:
+    """Costs plan partitions under materialization assignments."""
+
+    def __init__(self, memo: MemoTable, config: CodegenConfig,
+                 hop_by_id: dict[int, Hop], stats=None):
+        self.memo = memo
+        self.config = config
+        self.hops = hop_by_id
+        self.stats = stats
+        self._flops_cache: dict[int, float] = {}
+        # Plans are pure functions of (hop, template, blocked edges);
+        # enumeration revisits the same assignments' sub-structures, so
+        # memoize covers, basic plans, and operator choices.
+        self._cover_cache: dict = {}
+        self._basic_cache: dict[int, OperatorPlan] = {}
+        self._best_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Partition costing (getPlanCost)
+    # ------------------------------------------------------------------
+    def cost_partition(self, part: PlanPartition,
+                       blocked: frozenset[tuple[int, int]] = frozenset(),
+                       record: dict[int, OperatorPlan] | None = None,
+                       bound: float = INFINITE,
+                       prefer_max_fusion: bool = False) -> float:
+        """Total cost of producing all partition roots under ``blocked``.
+
+        ``blocked`` contains (consumer, target) dependencies assigned
+        True (materialize); all fusion references along them are
+        invalid.  Costing stops early once ``bound`` is exceeded
+        (partial costing, Section 4.4).
+        """
+        if self.stats is not None:
+            self.stats.n_plans_evaluated += 1
+        total = 0.0
+        produced: set[int] = set()
+        lookahead_cache: dict[int, float] = {}
+        pending = sorted(part.roots, reverse=True)
+        while pending:
+            hop_id = pending.pop()
+            if hop_id in produced:
+                continue
+            produced.add(hop_id)
+            hop = self.hops[hop_id]
+            plan = self._best_operator(
+                hop, blocked, lookahead_cache, prefer_max_fusion
+            )
+            total += plan.time
+            if total >= bound:
+                return INFINITE
+            for hop_in in plan.inputs:
+                if hop_in.id in part.members and hop_in.id not in produced:
+                    pending.append(hop_in.id)
+            if record is not None and plan.ttype is not None and plan.n_covered >= 2:
+                record[hop_id] = plan
+        return total
+
+    # ------------------------------------------------------------------
+    # Operator-level costing
+    # ------------------------------------------------------------------
+    def _best_operator(self, hop: Hop, blocked, lookahead_cache,
+                       prefer_max_fusion: bool) -> OperatorPlan:
+        cache_key = (hop.id, blocked, prefer_max_fusion)
+        cached = self._best_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        plan = self._best_operator_uncached(
+            hop, blocked, lookahead_cache, prefer_max_fusion
+        )
+        self._best_cache[cache_key] = plan
+        return plan
+
+    def _best_operator_uncached(self, hop: Hop, blocked, lookahead_cache,
+                                prefer_max_fusion: bool) -> OperatorPlan:
+        candidates = [self._basic_plan(hop)]
+        types = {
+            e.ttype for e in self.memo.root_entries(hop.id)
+        }
+        for ttype in sorted(types, key=lambda t: t.value):
+            plan = self._cover(hop, ttype, blocked)
+            if plan is not None:
+                candidates.append(plan)
+        if prefer_max_fusion:
+            # Heuristic policies: maximal fusion, ignoring costs.  Ties
+            # favour templates covering more operators.
+            best = max(candidates, key=lambda p: (p.n_covered, _type_rank(p.ttype)))
+            return best
+        # Cost-based choice with a one-level lookahead on the cost of
+        # producing each candidate's materialized inputs.  Ties favour
+        # sparsity-exploiting and multi-aggregate templates: an Outer
+        # or MAgg operator of equal local cost enables cross-operator
+        # benefits (sparse drivers, shared single-pass reads).
+        def score(plan: OperatorPlan) -> tuple[float, int]:
+            extra = 0.0
+            for hop_in in plan.inputs:
+                extra += self._produce_cost(hop_in, blocked, lookahead_cache, depth=0)
+            tie = {
+                TemplateType.OUTER: 0,
+                TemplateType.MAGG: 1,
+                TemplateType.CELL: 2,
+                TemplateType.ROW: 3,
+                None: 4,
+            }[plan.ttype]
+            return (plan.time + extra, tie)
+
+        return min(candidates, key=score)
+
+    def _produce_cost(self, hop: Hop, blocked, cache, depth: int) -> float:
+        """Recursive estimate of the cost of materializing ``hop``."""
+        if hop.id in cache:
+            return cache[hop.id]
+        if not self.memo.contains(hop.id) or hop.kind in (OpKind.DATA, OpKind.LITERAL):
+            cache[hop.id] = 0.0 if hop.kind in (OpKind.DATA, OpKind.LITERAL) else (
+                self._basic_plan(hop).time
+            )
+            return cache[hop.id]
+        if depth > 12:
+            return 0.0
+        cache[hop.id] = 0.0  # cycle guard (DAG, but shared paths)
+        best = INFINITE
+        plans = [self._basic_plan(hop)]
+        for ttype in {e.ttype for e in self.memo.root_entries(hop.id)}:
+            plan = self._cover(hop, ttype, blocked)
+            if plan is not None:
+                plans.append(plan)
+        for plan in plans:
+            extra = sum(
+                self._produce_cost(i, blocked, cache, depth + 1) for i in plan.inputs
+            )
+            best = min(best, plan.time + extra)
+        cache[hop.id] = best
+        return best
+
+    def _basic_plan(self, hop: Hop) -> OperatorPlan:
+        cached = self._basic_cache.get(hop.id)
+        if cached is not None:
+            return cached
+        cv = CostVector(None, hop)
+        cv.flops = self._flops(hop)
+        cv.covered.append(hop)
+        for hop_in in hop.inputs:
+            cv.add_input(hop_in)
+        time = self._vector_time(cv)
+        plan = OperatorPlan(hop, None, {}, [hop], list(cv.inputs.values()), time)
+        self._basic_cache[hop.id] = plan
+        return plan
+
+    def _cover(self, hop: Hop, ttype: TemplateType, blocked) -> OperatorPlan | None:
+        """Greedy maximal cover of ``hop`` with a ``ttype`` operator."""
+        cache_key = (hop.id, ttype, blocked)
+        if cache_key in self._cover_cache:
+            return self._cover_cache[cache_key]
+        entries = [e for e in self.memo.root_entries(hop.id) if e.ttype is ttype]
+        if not entries:
+            self._cover_cache[cache_key] = None
+            return None
+        entry = max(entries, key=lambda e: self._usable_refs(hop, e, blocked))
+        cv = CostVector(ttype, hop)
+        self._visit(hop, entry, cv, blocked)
+        time = self._vector_time(cv)
+        plan = OperatorPlan(
+            hop, ttype, cv.entries, cv.covered, list(cv.inputs.values()), time
+        )
+        plan.sparse_safe = self._is_sparse_safe(cv)
+        self._cover_cache[cache_key] = plan
+        return plan
+
+    def _usable_refs(self, hop: Hop, entry: MemoEntry, blocked) -> int:
+        count = 0
+        for idx, ref in enumerate(entry.refs):
+            if ref != -1 and (hop.id, ref) not in blocked:
+                count += 1
+        return count
+
+    def _visit(self, hop: Hop, entry: MemoEntry, cv: CostVector, blocked) -> None:
+        if hop.id in cv.visited:
+            return
+        cv.visited.add(hop.id)
+        cv.covered.append(hop)
+        cv.entries[hop.id] = entry
+        cv.flops += self._flops(hop)
+        for idx, hop_in in enumerate(hop.inputs):
+            fused = False
+            if entry.refs[idx] != -1 and (hop.id, hop_in.id) not in blocked:
+                sub_entries = self.memo.compatible_entries(hop_in.id, entry.ttype)
+                sub_entries = [
+                    e for e in sub_entries if e.ttype is entry.ttype
+                ] or sub_entries
+                if sub_entries:
+                    sub = max(
+                        sub_entries,
+                        key=lambda e: self._usable_refs(hop_in, e, blocked),
+                    )
+                    self._visit(hop_in, sub, cv, blocked)
+                    fused = True
+            if not fused and hop_in.kind is not OpKind.LITERAL:
+                cv.add_input(hop_in)
+
+    # ------------------------------------------------------------------
+    # Time estimates
+    # ------------------------------------------------------------------
+    def _flops(self, hop: Hop) -> float:
+        cached = self._flops_cache.get(hop.id)
+        if cached is None:
+            cached = memory.compute_flops(hop, self.config)
+            self._flops_cache[hop.id] = cached
+        return cached
+
+    def _vector_time(self, cv: CostVector) -> float:
+        config = self.config
+        out_bytes = memory.output_bytes(cv.output)
+        in_bytes = sum(memory.output_bytes(h) for h in cv.inputs.values())
+        scale = self._sparsity_scale(cv)
+        distributed = (
+            config.cluster is not None
+            and (out_bytes + in_bytes) > config.local_mem_budget
+        )
+        if distributed:
+            cluster = config.cluster
+            sizes = sorted(
+                (memory.output_bytes(h) for h in cv.inputs.values()), reverse=True
+            )
+            main_bytes = sizes[0] if sizes else 0.0
+            side_bytes = sum(sizes[1:])
+            read_time = main_bytes / cluster.hdfs_bandwidth
+            # Every additional input of a distributed operator is
+            # broadcast to all workers (the Table 6 effect).
+            read_time += side_bytes * cluster.n_workers / cluster.net_bandwidth
+            write_time = out_bytes / cluster.hdfs_bandwidth
+            compute_time = cv.flops * scale / (
+                config.peak_flops * cluster.n_workers
+            )
+        else:
+            read_time = in_bytes * scale / config.read_bandwidth if scale < 1.0 else (
+                in_bytes / config.read_bandwidth
+            )
+            write_time = out_bytes / config.write_bandwidth
+            compute_time = cv.flops * scale / config.peak_flops
+        return write_time + max(read_time, compute_time)
+
+    def _sparsity_scale(self, cv: CostVector) -> float:
+        """Scale factor of sparsity-exploiting operators (main input)."""
+        if cv.ttype is TemplateType.OUTER:
+            driver = self._outer_driver(cv)
+            if driver is not None:
+                return max(driver.sparsity, 1e-9)
+            return 1.0
+        if cv.ttype in (TemplateType.CELL, TemplateType.MAGG):
+            if self._is_sparse_safe(cv):
+                main = self._main_input(cv)
+                if main is not None and main.is_sparse_est(self.config.sparse_threshold):
+                    return max(main.sparsity, 1e-9)
+        return 1.0
+
+    def _main_input(self, cv: CostVector) -> Hop | None:
+        mats = [h for h in cv.inputs.values() if h.is_matrix]
+        if not mats:
+            return None
+        return max(mats, key=lambda h: h.cells)
+
+    def _outer_driver(self, cv: CostVector) -> Hop | None:
+        outer_dims = None
+        for hop in cv.covered:
+            if isinstance(hop, AggBinaryOp) and hop.inputs[0].cols < hop.rows:
+                if hop.id in cv.visited and hop.inputs[0].cols <= self.config.outer_max_rank:
+                    outer_dims = hop.dims
+                    break
+        if outer_dims is None:
+            return None
+        for hop in cv.inputs.values():
+            if hop.dims == outer_dims:
+                return hop
+        return None
+
+    def _is_sparse_safe(self, cv: CostVector) -> bool:
+        if cv.ttype not in (TemplateType.CELL, TemplateType.MAGG):
+            return False
+        from repro.hops.hop import AggUnaryOp
+        from repro.hops.types import AggOp
+
+        main = self._main_input(cv)
+        if main is None:
+            return False
+        has_main_mult = False
+        for hop in cv.covered:
+            if isinstance(hop, AggUnaryOp):
+                if hop.agg_op not in (AggOp.SUM, AggOp.SUM_SQ):
+                    return False
+                continue
+            if isinstance(hop, UnaryOp):
+                if hop.op not in SPARSE_SAFE_UNARY:
+                    return False
+                continue
+            if isinstance(hop, BinaryOp):
+                if hop.op not in _CELL_SPARSE_SAFE_BINARY:
+                    return False
+                if any(i.id == main.id for i in hop.inputs):
+                    has_main_mult = True
+                continue
+            return False
+        return has_main_mult
+
+    # ------------------------------------------------------------------
+    # Lower bounds for cost-based pruning (Algorithm 2)
+    # ------------------------------------------------------------------
+    def static_partition_cost(self, part: PlanPartition) -> float:
+        """C_Pi: partition input reads, minimal compute, root writes."""
+        config = self.config
+        read_bytes = sum(
+            memory.output_bytes(self.hops[i]) for i in part.inputs if i in self.hops
+        )
+        write_bytes = sum(
+            memory.output_bytes(self.hops[r]) for r in part.roots
+        )
+        min_scale = 1.0
+        for i in part.inputs:
+            hop = self.hops.get(i)
+            if hop is not None and hop.is_matrix and hop.nnz >= 0:
+                min_scale = min(min_scale, max(hop.sparsity, 1e-9))
+        flops = sum(self._flops(self.hops[m]) for m in part.members)
+        read_time = read_bytes / config.read_bandwidth
+        compute_time = flops * min_scale / config.peak_flops
+        write_time = write_bytes / config.write_bandwidth
+        self._static_parts = (write_time, read_time, compute_time)
+        return write_time + max(read_time, compute_time)
+
+    def materialization_cost(self, part: PlanPartition, q,
+                             points) -> float:
+        """Minimum additional cost of the positive assignments in q:
+        each distinct materialization target requires at least one
+        write and one read."""
+        config = self.config
+        targets = {points[i].target_id for i, flag in enumerate(q) if flag}
+        extra_write = 0.0
+        extra_read = 0.0
+        for target in targets:
+            hop = self.hops.get(target)
+            if hop is None:
+                continue
+            size = memory.output_bytes(hop)
+            extra_write += size / config.write_bandwidth
+            extra_read += size / config.read_bandwidth
+        write_time, read_time, compute_time = self._static_parts
+        return (
+            write_time
+            + extra_write
+            + max(read_time + extra_read, compute_time)
+            - (write_time + max(read_time, compute_time))
+        )
+
+
+def _type_rank(ttype: TemplateType | None) -> int:
+    """Tie-break order for maximal-fusion heuristics."""
+    order = {
+        None: 0,
+        TemplateType.OUTER: 1,
+        TemplateType.MAGG: 2,
+        TemplateType.CELL: 3,
+        TemplateType.ROW: 4,
+    }
+    return order[ttype]
+
+
+def blocked_set(points, q) -> frozenset[tuple[int, int]]:
+    """The blocked dependencies of a boolean assignment q."""
+    return frozenset(
+        (p.consumer_id, p.target_id) for p, flag in zip(points, q) if flag
+    )

@@ -1,0 +1,211 @@
+"""MPSkipEnum: materialization-point skip enumeration (Algorithm 2).
+
+The exponential search space of 2^|M'| boolean assignments is
+linearized from negative (fuse) to positive (materialize) assignments,
+so the fuse-all plan is costed first and yields a good upper bound.
+Two pruning techniques skip entire areas of the search space:
+
+* cost-based: a monotonically decreasing upper bound C̄ (best plan so
+  far) against a lower bound of all unseen plans sharing the current
+  positive prefix — on success we skip ``2^(|M'| - x - 1)`` plans where
+  x is the last positive index;
+* structural: cut sets over the reachability graph create independent
+  sub-problems solved recursively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.codegen.cost import CostEstimator, blocked_set
+from repro.codegen.memo import MemoTable
+from repro.codegen.partitions import (
+    CutSet,
+    PlanPartition,
+    find_cut_sets,
+)
+from repro.config import CodegenConfig
+from repro.hops.hop import Hop
+
+
+@dataclass
+class EnumResult:
+    """Best assignment found plus search statistics."""
+
+    assignment: tuple[bool, ...]
+    cost: float
+    n_evaluated: int
+    n_skipped: float
+
+
+def create_assignment(n: int, j: int) -> list[bool]:
+    """The j-th (1-based) assignment of the linearized search space.
+
+    Position 0 is the most significant bit, so the space runs from
+    all-False (fuse-all) to all-True (materialize-all).
+    """
+    value = j - 1
+    return [bool((value >> (n - 1 - p)) & 1) for p in range(n)]
+
+
+def _last_true_index(q: list[bool]) -> int:
+    for idx in range(len(q) - 1, -1, -1):
+        if q[idx]:
+            return idx
+    return -1
+
+
+def _num_skip_plans(q: list[bool]) -> int:
+    """Plans sharing the positive prefix of q (Algorithm 2, line 14)."""
+    x = _last_true_index(q)
+    return (1 << (len(q) - x - 1)) - 1
+
+
+def mpskip_enum(estimator: CostEstimator, part: PlanPartition,
+                config: CodegenConfig, memo: MemoTable,
+                hop_by_id: dict[int, Hop], stats=None,
+                point_indices: list[int] | None = None,
+                use_structural: bool | None = None) -> EnumResult:
+    """Enumerate assignments of the partition's interesting points.
+
+    ``point_indices`` restricts enumeration to a subset of points (used
+    by recursive cut-set sub-problems); the remaining points are fixed
+    False inside this call and combined by the caller.
+    """
+    points = part.points
+    indices = list(range(len(points))) if point_indices is None else point_indices
+    n = len(indices)
+    if n == 0:
+        cost = estimator.cost_partition(part)
+        return EnumResult((), cost, 1, 0)
+
+    if use_structural is None:
+        use_structural = config.enable_structural_pruning
+
+    # Structural pruning: pick the best valid cut set and lay out the
+    # search space with its points first.
+    cut: CutSet | None = None
+    if use_structural and n >= 3 and point_indices is None:
+        cuts = [
+            c for c in find_cut_sets(part, memo, hop_by_id)
+            if set(c.cut_points) | set(c.side1) | set(c.side2) <= set(indices)
+        ]
+        if cuts:
+            cut = cuts[0]
+            indices = (
+                list(cut.cut_points)
+                + [i for i in indices if i not in cut.cut_points]
+            )
+
+    static_cost = estimator.static_partition_cost(part)
+    best_q: list[bool] | None = None
+    best_cost = math.inf
+    n_evaluated = 0
+    n_skipped = 0.0
+    total = min(1 << n, config.max_enum_plans)
+
+    j = 1
+    while j <= total:
+        local_q = create_assignment(n, j)
+        q = [False] * len(points)
+        for pos, idx in enumerate(indices):
+            q[idx] = local_q[pos]
+
+        # Structural pruning via cut-set sub-problems: when exactly the
+        # cut-set positions are positive (first plan of that subspace),
+        # solve both sides independently and skip the subspace.
+        if cut is not None and _is_cut_boundary(local_q, cut, indices):
+            sub_q, sub_cost, sub_eval = _solve_subproblems(
+                estimator, part, config, memo, hop_by_id, cut, q, stats
+            )
+            n_evaluated += sub_eval
+            if sub_cost < best_cost:
+                best_cost = sub_cost
+                best_q = sub_q
+            remaining = (1 << (n - len(cut.cut_points))) - 1
+            n_skipped += remaining
+            j += remaining + 1
+            continue
+
+        # Cost-based pruning via lower bounds.
+        if config.enable_cost_pruning and best_q is not None:
+            lower = static_cost + estimator.materialization_cost(part, q, points)
+            if lower >= best_cost:
+                skip = _num_skip_plans(local_q)
+                n_skipped += skip
+                j += skip + 1
+                continue
+
+        cost = estimator.cost_partition(
+            part, blocked_set(points, q), bound=best_cost
+        )
+        n_evaluated += 1
+        if cost < best_cost:
+            best_cost = cost
+            best_q = q
+        j += 1
+
+    if stats is not None:
+        stats.n_plans_evaluated += n_evaluated
+        stats.n_plans_skipped += n_skipped
+    assert best_q is not None
+    return EnumResult(tuple(best_q), best_cost, n_evaluated, n_skipped)
+
+
+def _is_cut_boundary(local_q: list[bool], cut: CutSet, indices: list[int]) -> bool:
+    """True when exactly the cut-set positions (laid out first) are
+    positive and everything after them is negative."""
+    n_cut = len(cut.cut_points)
+    return all(local_q[:n_cut]) and not any(local_q[n_cut:])
+
+
+def _solve_subproblems(estimator, part, config, memo, hop_by_id,
+                       cut: CutSet, q: list[bool], stats):
+    """Solve the independent sub-problems created by a cut set."""
+    n_evaluated = 0
+    combined = list(q)
+    for side in (cut.side1, cut.side2):
+        if not side:
+            continue
+        result = _enumerate_subset(
+            estimator, part, config, memo, hop_by_id, side, combined
+        )
+        n_evaluated += result[1]
+        for idx, val in zip(side, result[0]):
+            combined[idx] = val
+    from repro.codegen.cost import blocked_set as _bs
+
+    cost = estimator.cost_partition(part, _bs(part.points, combined))
+    n_evaluated += 1
+    return tuple(combined), cost, n_evaluated
+
+
+def _enumerate_subset(estimator, part, config, memo, hop_by_id,
+                      side: list[int], base_q: list[bool]):
+    """Exhaustively enumerate a sub-problem's points with cost pruning.
+
+    Sub-problems are independent given the materialized cut set, so
+    each side is optimized in isolation (other side fixed at its
+    current values in ``base_q``).
+    """
+    n = len(side)
+    best_vals: tuple[bool, ...] = tuple(False for _ in side)
+    best_cost = math.inf
+    n_evaluated = 0
+    total = min(1 << n, config.max_enum_plans)
+    j = 1
+    while j <= total:
+        local_q = create_assignment(n, j)
+        q = list(base_q)
+        for pos, idx in enumerate(side):
+            q[idx] = local_q[pos]
+        cost = estimator.cost_partition(
+            part, blocked_set(part.points, q), bound=best_cost
+        )
+        n_evaluated += 1
+        if cost < best_cost:
+            best_cost = cost
+            best_vals = tuple(local_q)
+        j += 1
+    return best_vals, n_evaluated

@@ -1,0 +1,37 @@
+"""Baseline fusion-plan selection heuristics (Section 4.1).
+
+* **fuse-all** maximizes fusion, accepting redundant compute on common
+  subexpressions (similar to lazy evaluation in Spark or the SPOOF
+  fuse-all code generator).
+* **fuse-no-redundancy** never recomputes: every intermediate with
+  multiple consumers is materialized.
+
+Both operate on the same memo table as the cost-based optimizer; the
+paper uses them as baselines (Gen-FA, Gen-FNR).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.cost import CostEstimator, OperatorPlan, blocked_set
+from repro.codegen.memo import MemoTable
+from repro.codegen.partitions import PlanPartition
+
+
+def fuse_all(estimator: CostEstimator, part: PlanPartition) -> dict[int, OperatorPlan]:
+    """Maximal fusion: no materialization points, maximal covers."""
+    record: dict[int, OperatorPlan] = {}
+    estimator.cost_partition(part, frozenset(), record=record, prefer_max_fusion=True)
+    return record
+
+
+def fuse_no_redundancy(estimator: CostEstimator,
+                       part: PlanPartition) -> dict[int, OperatorPlan]:
+    """Materialize all intermediates with multiple consumers."""
+    blocked = frozenset(
+        (p.consumer_id, p.target_id)
+        for p in part.points
+        if p.target_id in part.mat_points
+    )
+    record: dict[int, OperatorPlan] = {}
+    estimator.cost_partition(part, blocked, record=record, prefer_max_fusion=True)
+    return record

@@ -1,0 +1,91 @@
+"""Plan cache and operator compilation (codegen steps 4-5).
+
+Generated operators are maintained in a plan cache keyed by the CPlan's
+semantic hash, avoiding redundant code generation and compilation for
+equivalent operators — across DAGs and during dynamic recompilation
+(Section 2.1).  Two compilation backends mirror the paper's janino vs
+javac comparison (Figure 11):
+
+* ``exec``: in-memory ``compile()`` + ``exec()`` (the fast janino path),
+* ``file``: write the source to disk, byte-compile it, and import it as
+  a module (the heavyweight javac path).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import py_compile
+import sys
+import tempfile
+import time
+
+from repro.codegen.cplan import CPlan
+from repro.codegen.pygen import GeneratedOperator, generate_source
+from repro.errors import CodegenError
+
+
+class PlanCache:
+    """CPlan-hash -> compiled operator cache."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._cache: dict[str, GeneratedOperator] = {}
+        self.hits = 0
+        self.lookups = 0
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.lookups = 0
+
+    def get_or_compile(self, cplan: CPlan, config, stats=None) -> GeneratedOperator:
+        """Return a compiled operator, reusing cached equivalents."""
+        key = cplan.semantic_hash()
+        self.lookups += 1
+        if stats is not None:
+            stats.plan_cache_lookups += 1
+        if self.enabled and key in self._cache:
+            self.hits += 1
+            if stats is not None:
+                stats.plan_cache_hits += 1
+            return self._cache[key]
+        start = time.perf_counter()
+        name, source = generate_source(cplan, config.inline_primitives)
+        gen_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        genexec = compile_operator(name, source, config.compiler)
+        compile_elapsed = time.perf_counter() - start
+
+        operator = GeneratedOperator(name, cplan, source, genexec)
+        if self.enabled:
+            self._cache[key] = operator
+        if stats is not None:
+            stats.n_classes_compiled += 1
+            stats.codegen_seconds += gen_elapsed + compile_elapsed
+            stats.class_compile_seconds += compile_elapsed
+        return operator
+
+
+def compile_operator(name: str, source: str, backend: str = "exec"):
+    """Compile generated source and return the genexec callable."""
+    if backend == "exec":
+        namespace: dict = {}
+        code = compile(source, f"<generated {name}>", "exec")
+        exec(code, namespace)
+        return namespace["genexec"]
+    if backend == "file":
+        tmpdir = tempfile.mkdtemp(prefix="repro_codegen_")
+        path = os.path.join(tmpdir, f"{name.lower()}.py")
+        with open(path, "w") as handle:
+            handle.write(source)
+        # Byte-compile explicitly (the expensive out-of-process step of
+        # javac, approximated in-process) and import the module.
+        py_compile.compile(path, doraise=True)
+        spec = importlib.util.spec_from_file_location(f"repro_gen_{name}", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        spec.loader.exec_module(module)
+        return module.genexec
+    raise CodegenError(f"unknown compiler backend '{backend}'")

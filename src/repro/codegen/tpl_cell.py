@@ -1,0 +1,58 @@
+"""Cell template: fused cell-wise operations with optional aggregation.
+
+Binds to cells X_ij of a main input with sparse/dense side inputs and
+scalars.  Variants: no agg, row agg, col agg, full agg (Table 1).  A
+sparse-safe Cell operator executes over non-zero cells only.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.template import CloseType, Template, TemplateType, is_cellwise
+from repro.hops.hop import AggUnaryOp, Hop
+from repro.hops.types import AggOp
+
+
+# Aggregations a Cell template can absorb (mean needs a count rescale
+# and is handled as a basic operator instead, like SystemML).
+FUSABLE_AGGS = {AggOp.SUM, AggOp.SUM_SQ, AggOp.MIN, AggOp.MAX}
+
+
+def _valid_agg(hop: Hop) -> bool:
+    return isinstance(hop, AggUnaryOp) and hop.agg_op in FUSABLE_AGGS
+
+
+class CellTemplate(Template):
+    """OFMC conditions of the Cell template."""
+
+    ttype = TemplateType.CELL
+
+    def open(self, hop: Hop) -> bool:
+        # A new cell operator starts at any cell-wise operation over at
+        # least one matrix input.
+        return is_cellwise(hop)
+
+    def fuse(self, hop: Hop, hop_in: Hop) -> bool:
+        # Extend an open cell operator at hop_in to its consumer: valid
+        # cell operations and valid aggregations.
+        if is_cellwise(hop):
+            # The fused intermediate must be used cell-aligned: the
+            # consumer output has the same shape (no broadcast of the
+            # fused intermediate itself).
+            return hop.dims == hop_in.dims or hop_in.is_scalar
+        if _valid_agg(hop):
+            return True
+        return False
+
+    def merge(self, hop: Hop, hop_in: Hop) -> bool:
+        # Cell operators merge cell plans at their inputs if shapes are
+        # cell-aligned (equal dims) — broadcast vector operands are read
+        # as side inputs instead.
+        return hop_in.is_matrix and (
+            hop_in.dims == hop.dims or (is_cellwise(hop) and hop_in.dims == hop.dims)
+        )
+
+    def close(self, hop: Hop) -> CloseType:
+        # Any aggregation closes a Cell template (as valid).
+        if _valid_agg(hop):
+            return CloseType.CLOSED_VALID
+        return CloseType.OPEN_VALID

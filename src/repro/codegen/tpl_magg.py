@@ -1,0 +1,51 @@
+"""Multi-aggregate template: DAGs of full aggregates over shared inputs.
+
+A MAgg operator computes several full aggregations (e.g. ``sum(X^2)``,
+``sum(X*Y)``, ``sum(Y^2)``) in a single pass over their shared inputs
+(Figure 1(c) of the paper).  During exploration each qualifying full
+aggregate receives a MAgg entry; the grouping of multiple aggregates
+into one operator happens at selection time (see
+:func:`repro.codegen.construct.group_multi_aggregates`).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.template import CloseType, Template, TemplateType, is_cellwise
+from repro.hops.hop import AggUnaryOp, Hop
+from repro.hops.types import AggDir, AggOp
+
+MAGG_AGGS = {AggOp.SUM, AggOp.SUM_SQ, AggOp.MIN, AggOp.MAX}
+
+
+def is_full_agg(hop: Hop) -> bool:
+    return (
+        isinstance(hop, AggUnaryOp)
+        and hop.direction is AggDir.FULL
+        and hop.agg_op in MAGG_AGGS
+        and hop.inputs[0].is_matrix
+    )
+
+
+class MultiAggTemplate(Template):
+    """OFMC conditions of the MAgg template."""
+
+    ttype = TemplateType.MAGG
+
+    def open(self, hop: Hop) -> bool:
+        # Opens at full aggregations over matrices (Table 1: full agg).
+        return is_full_agg(hop)
+
+    def fuse(self, hop: Hop, hop_in: Hop) -> bool:
+        # The aggregate is the root of a MAgg operator; nothing fuses a
+        # MAgg entry upward (multi-output grouping happens later).
+        return False
+
+    def merge(self, hop: Hop, hop_in: Hop) -> bool:
+        # Absorb cell-wise plans below the aggregate.
+        return hop_in.is_matrix and (is_cellwise(hop_in) or True)
+
+    def close(self, hop: Hop) -> CloseType:
+        # The aggregate itself completes the operator.
+        if is_full_agg(hop):
+            return CloseType.CLOSED_VALID
+        return CloseType.CLOSED_INVALID

@@ -1,0 +1,5 @@
+"""Compiler pipeline: engines, hand-coded fused operators, scripts."""
+
+from repro.compiler.execution import Engine
+
+__all__ = ["Engine"]

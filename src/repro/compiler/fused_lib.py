@@ -1,0 +1,353 @@
+"""Hand-coded fused operators: the "Fused" baseline of the experiments.
+
+SystemML's default configuration replaces fixed patterns of few
+operators with hand-written fused implementations [7, 13, 37].  This
+module reproduces the representative set the paper's experiments rely
+on; each matcher inspects a HOP sub-DAG top-down and, on success,
+computes the result directly from the pattern's leaf inputs:
+
+* ``mmchain``    — t(X) %*% (X %*% v) and t(X) %*% (w * (X %*% v)),
+  matrix-*vector* chains only (the Figure 8(g) limitation),
+* ``sumsq``      — sum(X^2) without materializing X^2,
+* ``sumprod``    — sum(X * Y) without materializing X * Y,
+* ``axpy``       — X + s*Y / X - s*Y,
+* ``wcemm``      — sum(X * log(U %*% t(V) + eps)), sparsity-exploiting,
+* ``wsloss``     — sum(W * (X - U %*% t(V))^2), sparsity-exploiting,
+* ``wdivmm``     — ((W) * (U %*% t(V))) %*% V and the left variant,
+  sparsity-exploiting (the ALS update-rule kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hops.hop import (
+    AggBinaryOp,
+    AggUnaryOp,
+    BinaryOp,
+    Hop,
+    LiteralOp,
+    ReorgOp,
+    UnaryOp,
+)
+from repro.hops.types import AggDir, AggOp
+from repro.runtime.matrix import MatrixBlock
+
+
+def _is_t(hop: Hop) -> bool:
+    return isinstance(hop, ReorgOp) and hop.op == "t"
+
+
+def _is_full_sum(hop: Hop) -> bool:
+    return (
+        isinstance(hop, AggUnaryOp)
+        and hop.agg_op in (AggOp.SUM, AggOp.SUM_SQ)
+        and hop.direction is AggDir.FULL
+    )
+
+
+def match_fused(hop: Hop, eval_fn):
+    """Try all hand-coded patterns at ``hop``.
+
+    ``eval_fn(h)`` evaluates a HOP to a runtime value (recursively via
+    the interpreter, so shared intermediates stay shared).  Returns the
+    computed value, or None if no pattern applies.
+    """
+    for matcher in (_match_mmchain, _match_sum_fused, _match_wcemm,
+                    _match_wsloss, _match_wdivmm, _match_axpy):
+        result = matcher(hop, eval_fn)
+        if result is not None:
+            return result
+    return None
+
+
+# ----------------------------------------------------------------------
+# mmchain: t(X) %*% (X %*% v)   |   t(X) %*% (w * (X %*% v))
+# ----------------------------------------------------------------------
+def _match_mmchain(hop: Hop, eval_fn):
+    if not (isinstance(hop, AggBinaryOp) and _is_t(hop.inputs[0])):
+        return None
+    x_hop = hop.inputs[0].inputs[0]
+    right = hop.inputs[1]
+    w_hop = None
+    if isinstance(right, BinaryOp) and right.op == "*":
+        # t(X) %*% (w * (X %*% v)) with a column-vector weight.
+        lhs, rhs = right.inputs
+        if isinstance(rhs, AggBinaryOp) and lhs.is_col_vector:
+            w_hop, right = lhs, rhs
+        elif isinstance(lhs, AggBinaryOp) and rhs.is_col_vector:
+            w_hop, right = rhs, lhs
+        else:
+            return None
+    if not isinstance(right, AggBinaryOp):
+        return None
+    if right.inputs[0] is not x_hop:
+        return None
+    v_hop = right.inputs[1]
+    if not v_hop.is_col_vector:  # matrix-vector chains only
+        return None
+    x_val = eval_fn(x_hop)
+    v_val = eval_fn(v_hop)
+    # Single pass over X: q = X v (row-wise), result += X_i^T q_i.
+    if x_val.is_sparse:
+        csr = x_val.to_csr()
+        q = csr @ v_val.to_dense()
+        if w_hop is not None:
+            q = q * eval_fn(w_hop).to_dense()
+        out = csr.T @ q
+        return MatrixBlock(np.asarray(out))
+    arr = x_val.to_dense()
+    q = arr @ v_val.to_dense()
+    if w_hop is not None:
+        q = q * eval_fn(w_hop).to_dense()
+    return MatrixBlock(arr.T @ q)
+
+
+# ----------------------------------------------------------------------
+# sum(X^2), sum(X*Y)
+# ----------------------------------------------------------------------
+def _match_sum_fused(hop: Hop, eval_fn):
+    if not _is_full_sum(hop):
+        return None
+    inner = hop.inputs[0]
+    if hop.agg_op is AggOp.SUM_SQ:
+        x_val = eval_fn(inner)
+        return _sumsq_value(x_val)
+    if isinstance(inner, UnaryOp) and inner.op == "pow2":
+        return _sumsq_value(eval_fn(inner.inputs[0]))
+    if isinstance(inner, BinaryOp) and inner.op == "^":
+        exp = inner.inputs[1]
+        if isinstance(exp, LiteralOp) and exp.value == 2.0:
+            return _sumsq_value(eval_fn(inner.inputs[0]))
+    if isinstance(inner, BinaryOp) and inner.op == "*":
+        lhs, rhs = inner.inputs
+        if lhs is rhs and lhs.is_matrix:
+            return _sumsq_value(eval_fn(lhs))
+        if lhs.is_matrix and rhs.is_matrix and lhs.dims == rhs.dims:
+            from repro.runtime.compressed import CompressedMatrix
+
+            a, b = eval_fn(lhs), eval_fn(rhs)
+            if isinstance(a, CompressedMatrix):
+                a = a.decompress()
+            if isinstance(b, CompressedMatrix):
+                b = b.decompress()
+            if a.is_sparse and not b.is_sparse:
+                csr = a.to_csr()
+                rows = np.repeat(np.arange(csr.shape[0]), np.diff(csr.indptr))
+                return float(np.dot(csr.data, b.to_dense()[rows, csr.indices]))
+            if a.is_sparse and b.is_sparse:
+                return float(a.to_csr().multiply(b.to_csr()).sum())
+            if b.is_sparse:
+                return _match_none_swap(a, b)
+            return float(np.dot(a.to_dense().ravel(), b.to_dense().ravel()))
+    return None
+
+
+def _match_none_swap(a, b):
+    csr = b.to_csr()
+    rows = np.repeat(np.arange(csr.shape[0]), np.diff(csr.indptr))
+    return float(np.dot(csr.data, a.to_dense()[rows, csr.indices]))
+
+
+def _sumsq_value(x_val):
+    from repro.runtime.compressed import CompressedMatrix
+
+    if isinstance(x_val, CompressedMatrix):
+        return x_val.sum_sq()
+    if x_val.is_sparse:
+        data = x_val.to_csr().data
+        return float(np.dot(data, data))
+    arr = x_val.to_dense().ravel()
+    return float(np.dot(arr, arr))
+
+
+# ----------------------------------------------------------------------
+# wcemm: sum(X * log(U %*% t(V) + eps))
+# ----------------------------------------------------------------------
+def _match_wcemm(hop: Hop, eval_fn):
+    if not (_is_full_sum(hop) and hop.agg_op is AggOp.SUM):
+        return None
+    inner = hop.inputs[0]
+    if not (isinstance(inner, BinaryOp) and inner.op == "*"):
+        return None
+    for x_hop, log_hop in (inner.inputs, inner.inputs[::-1]):
+        if not (isinstance(log_hop, UnaryOp) and log_hop.op == "log"):
+            continue
+        arg = log_hop.inputs[0]
+        eps = 0.0
+        if isinstance(arg, BinaryOp) and arg.op == "+":
+            lit = arg.inputs[1] if isinstance(arg.inputs[1], LiteralOp) else (
+                arg.inputs[0] if isinstance(arg.inputs[0], LiteralOp) else None
+            )
+            if lit is None:
+                continue
+            eps = lit.value
+            arg = arg.inputs[0] if lit is arg.inputs[1] else arg.inputs[1]
+        uv = _match_uvt(arg)
+        if uv is None:
+            continue
+        u_hop, v_hop = uv
+        x_val = eval_fn(x_hop)
+        u_arr = eval_fn(u_hop).to_dense()
+        v_arr = eval_fn(v_hop).to_dense()
+        return _wce_sum(x_val, u_arr, v_arr, eps)
+    return None
+
+
+def _match_uvt(hop: Hop):
+    """Match U %*% t(V) returning (U, V); V given n x k."""
+    if not isinstance(hop, AggBinaryOp):
+        return None
+    left, right = hop.inputs
+    if not _is_t(right):
+        return None
+    return left, right.inputs[0]
+
+
+def _wce_sum(x_val, u_arr, v_arr, eps):
+    total = 0.0
+    if x_val.is_sparse:
+        csr = x_val.to_csr()
+        for i in range(csr.shape[0]):
+            lo, hi = csr.indptr[i], csr.indptr[i + 1]
+            if hi == lo:
+                continue
+            cols = csr.indices[lo:hi]
+            uv = v_arr[cols] @ u_arr[i]
+            total += float(np.dot(csr.data[lo:hi], np.log(uv + eps)))
+        return total
+    arr = x_val.to_dense()
+    for i in range(arr.shape[0]):
+        uv = v_arr @ u_arr[i]
+        total += float(np.dot(arr[i], np.log(uv + eps)))
+    return total
+
+
+# ----------------------------------------------------------------------
+# wsloss: sum(W * (X - U %*% t(V))^2)
+# ----------------------------------------------------------------------
+def _match_wsloss(hop: Hop, eval_fn):
+    if not (_is_full_sum(hop) and hop.agg_op is AggOp.SUM):
+        return None
+    inner = hop.inputs[0]
+    if not (isinstance(inner, BinaryOp) and inner.op == "*"):
+        return None
+    for w_hop, sq_hop in (inner.inputs, inner.inputs[::-1]):
+        sq_arg = None
+        if isinstance(sq_hop, UnaryOp) and sq_hop.op == "pow2":
+            sq_arg = sq_hop.inputs[0]
+        elif isinstance(sq_hop, BinaryOp) and sq_hop.op == "^":
+            if isinstance(sq_hop.inputs[1], LiteralOp) and sq_hop.inputs[1].value == 2.0:
+                sq_arg = sq_hop.inputs[0]
+        if sq_arg is None or not (isinstance(sq_arg, BinaryOp) and sq_arg.op == "-"):
+            continue
+        x_hop, uvt = sq_arg.inputs
+        uv = _match_uvt(uvt)
+        if uv is None:
+            continue
+        u_hop, v_hop = uv
+        w_val = eval_fn(w_hop)
+        x_val = eval_fn(x_hop)
+        u_arr = eval_fn(u_hop).to_dense()
+        v_arr = eval_fn(v_hop).to_dense()
+        if not w_val.is_sparse:
+            pred = u_arr @ v_arr.T
+            diff = x_val.to_dense() - pred
+            return float(np.sum(w_val.to_dense() * diff * diff))
+        csr = w_val.to_csr()
+        x_csr = x_val.to_csr()
+        total = 0.0
+        for i in range(csr.shape[0]):
+            lo, hi = csr.indptr[i], csr.indptr[i + 1]
+            if hi == lo:
+                continue
+            cols = csr.indices[lo:hi]
+            pred = v_arr[cols] @ u_arr[i]
+            x_row = np.asarray(x_csr[i, cols].todense()).ravel()
+            diff = x_row - pred
+            total += float(np.dot(csr.data[lo:hi], diff * diff))
+        return total
+    return None
+
+
+# ----------------------------------------------------------------------
+# wdivmm: ((W) * (U %*% t(V))) %*% V   |   t((W)*(U %*% t(V))) %*% U
+# ----------------------------------------------------------------------
+def _match_wdivmm(hop: Hop, eval_fn):
+    if not isinstance(hop, AggBinaryOp):
+        return None
+    left, right_factor = hop.inputs
+    transposed = False
+    if _is_t(left):
+        left = left.inputs[0]
+        transposed = True
+    if not (isinstance(left, BinaryOp) and left.op == "*"):
+        return None
+    for w_hop, uvt in (left.inputs, left.inputs[::-1]):
+        uv = _match_uvt(uvt)
+        if uv is None:
+            continue
+        u_hop, v_hop = uv
+        # The second matmult factor must be one of the factors.
+        if not transposed and right_factor is not v_hop:
+            continue
+        if transposed and right_factor is not u_hop:
+            continue
+        w_val = eval_fn(w_hop)
+        u_arr = eval_fn(u_hop).to_dense()
+        v_arr = eval_fn(v_hop).to_dense()
+        return _wdivmm(w_val, u_arr, v_arr, transposed)
+    return None
+
+
+def _wdivmm(w_val, u_arr, v_arr, transposed: bool):
+    rows = u_arr.shape[0]
+    cols = v_arr.shape[0]
+    if w_val.is_sparse:
+        csr = w_val.to_csr()
+        if transposed:
+            out = np.zeros((cols, u_arr.shape[1]))
+        else:
+            out = np.zeros((rows, v_arr.shape[1]))
+        for i in range(rows):
+            lo, hi = csr.indptr[i], csr.indptr[i + 1]
+            if hi == lo:
+                continue
+            cols_i = csr.indices[lo:hi]
+            w_vals = csr.data[lo:hi] * (v_arr[cols_i] @ u_arr[i])
+            if transposed:
+                out[cols_i] += np.outer(w_vals, u_arr[i])
+            else:
+                out[i] = w_vals @ v_arr[cols_i]
+        return MatrixBlock(out)
+    w_arr = w_val.to_dense()
+    product = w_arr * (u_arr @ v_arr.T)
+    if transposed:
+        return MatrixBlock(product.T @ u_arr)
+    return MatrixBlock(product @ v_arr)
+
+
+# ----------------------------------------------------------------------
+# axpy: X + s*Y / X - s*Y
+# ----------------------------------------------------------------------
+def _match_axpy(hop: Hop, eval_fn):
+    if not (isinstance(hop, BinaryOp) and hop.op in ("+", "-")):
+        return None
+    lhs, rhs = hop.inputs
+    if not (lhs.is_matrix and isinstance(rhs, BinaryOp) and rhs.op == "*"):
+        return None
+    s_hop = next((h for h in rhs.inputs if h.is_scalar), None)
+    y_hop = next((h for h in rhs.inputs if h.is_matrix), None)
+    if s_hop is None or y_hop is None or y_hop.dims != lhs.dims:
+        return None
+    x_val = eval_fn(lhs)
+    y_val = eval_fn(y_hop)
+    s_val = eval_fn(s_hop)
+    s_val = s_val if isinstance(s_val, float) else s_val.as_scalar()
+    sign = 1.0 if hop.op == "+" else -1.0
+    if x_val.is_sparse and y_val.is_sparse:
+        out = x_val.to_csr() + (sign * s_val) * y_val.to_csr()
+        return MatrixBlock(out).examine_representation()
+    return MatrixBlock(
+        x_val.to_dense() + sign * s_val * y_val.to_dense()
+    ).examine_representation()

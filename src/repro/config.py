@@ -1,0 +1,101 @@
+"""Global configuration for the compiler, optimizer, and runtime.
+
+The defaults mirror the hardware model of the paper's experimental setup
+(Section 5.1): peak read bandwidth 32 GB/s, measured STREAM-like write
+bandwidth, and per-node peak compute.  The cost model (Section 4.3)
+normalizes byte and FLOP counts by these constants, so only their ratios
+matter for plan choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of the simulated distributed (Spark-like) backend.
+
+    Matches the 1+6 node cluster of Section 5.1 by default: six workers
+    whose aggregate memory holds the distributed datasets, connected via
+    10 Gb Ethernet.
+    """
+
+    n_workers: int = 6
+    executor_mem: float = 60e9 * 0.6  # usable executor memory [bytes]
+    net_bandwidth: float = 1.25e9  # 10 Gb/s Ethernet [bytes/s]
+    hdfs_bandwidth: float = 0.6e9  # distributed read bandwidth [bytes/s]
+
+    @property
+    def aggregate_mem(self) -> float:
+        """Total usable cluster memory in bytes."""
+        return self.n_workers * self.executor_mem
+
+
+@dataclass
+class CodegenConfig:
+    """Knobs of the codegen optimizer and the analytical cost model."""
+
+    # Cost model bandwidths (Section 4.3).
+    read_bandwidth: float = 32e9  # peak local read [bytes/s]
+    write_bandwidth: float = 16e9  # peak local write [bytes/s]
+    peak_flops: float = 115.2e9  # peak compute [FLOP/s]
+
+    # Memory budget of the driver / local node; operations whose inputs
+    # and output exceed it are selected for distributed execution.
+    local_mem_budget: float = 35e9
+
+    # Block size of blocked (distributed) matrices; the Row template has
+    # the constraint ncol(X) <= blocksize for distributed operations.
+    blocksize: int = 1024
+
+    # Tile size (rows) used by the local fused-operator skeletons.  Row
+    # tiles play the role of the cache-resident ring-buffer intermediates
+    # of the paper's generated operators.
+    tile_rows: int = 256
+
+    # Outer template: the common dimension (rank) must be small.
+    outer_max_rank: int = 256
+
+    # Sparse output/representation threshold (SystemML uses nnz/cells <
+    # 0.4 to pick the sparse format).
+    sparse_threshold: float = 0.4
+
+    # Candidate selection.
+    max_enum_plans: int = 1 << 22  # safety cap per partition
+    enable_cost_pruning: bool = True
+    enable_structural_pruning: bool = True
+    enable_partitioning: bool = True
+
+    # Code generation backend: 'exec' is the fast in-memory compiler
+    # (janino analogue); 'file' writes sources to disk and imports them
+    # (javac analogue).
+    compiler: str = "exec"
+    plan_cache_enabled: bool = True
+    inline_primitives: bool = False  # Fig 10: inline vs shared primitives
+
+    # Simulated cluster; None means pure single-node operation.
+    cluster: ClusterConfig | None = None
+
+    # Per-operation compute cost weights (FLOPs per output cell) for
+    # expensive cell functions; anything absent costs 1.
+    op_flop_weights: dict = field(
+        default_factory=lambda: {
+            "exp": 20.0,
+            "log": 20.0,
+            "sqrt": 5.0,
+            "sigmoid": 25.0,
+            "erf": 30.0,
+            "normpdf": 30.0,
+            "^": 30.0,
+        }
+    )
+
+    def copy(self) -> "CodegenConfig":
+        """Return a shallow copy (cluster config shared)."""
+        import dataclasses
+
+        return dataclasses.replace(self)
+
+
+DEFAULT_CONFIG = CodegenConfig()

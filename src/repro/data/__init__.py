@@ -1,0 +1,5 @@
+"""Dataset generators: synthetic data and real-dataset stand-ins."""
+
+from repro.data import generators
+
+__all__ = ["generators"]

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ShapeError(ReproError):
+    """Operands have incompatible shapes."""
+
+
+class CompileError(ReproError):
+    """HOP DAG construction or rewriting failed."""
+
+
+class LanguageError(ReproError):
+    """Script parsing or validation failed."""
+
+
+class CodegenError(ReproError):
+    """Template exploration, plan selection, or code generation failed."""
+
+
+class RuntimeExecError(ReproError):
+    """Runtime execution of a plan failed."""

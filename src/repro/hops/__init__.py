@@ -1,0 +1,40 @@
+"""High-level operator (HOP) intermediate representation."""
+
+from repro.hops.hop import (
+    AggBinaryOp,
+    AggUnaryOp,
+    DataOp,
+    Hop,
+    IndexingOp,
+    LiteralOp,
+    NaryOp,
+    ReorgOp,
+    SpoofOp,
+    TernaryOp,
+    UnaryOp,
+    BinaryOp,
+    collect_dag,
+    topological_order,
+)
+from repro.hops.types import AggDir, AggOp, ExecType, OpKind
+
+__all__ = [
+    "AggBinaryOp",
+    "AggUnaryOp",
+    "AggDir",
+    "AggOp",
+    "BinaryOp",
+    "DataOp",
+    "ExecType",
+    "Hop",
+    "IndexingOp",
+    "LiteralOp",
+    "NaryOp",
+    "OpKind",
+    "ReorgOp",
+    "SpoofOp",
+    "TernaryOp",
+    "UnaryOp",
+    "collect_dag",
+    "topological_order",
+]

@@ -1,0 +1,90 @@
+"""Enumerations shared across the HOP IR and the codegen optimizer."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class OpKind(Enum):
+    """Classes of high-level operators."""
+
+    DATA = "data"  # matrix input bound to a MatrixBlock
+    LITERAL = "lit"  # scalar literal
+    UNARY = "u"  # cell-wise unary (plus cumsum-style column ops)
+    BINARY = "b"  # cell-wise binary with broadcasting
+    TERNARY = "t"  # cell-wise ternary (+*, -*, ifelse)
+    AGG_UNARY = "ua"  # aggregation (sum/min/max/... x full/row/col)
+    AGG_BINARY = "ba"  # matrix multiplication ba(+*)
+    REORG = "r"  # transpose
+    INDEX = "rix"  # right indexing
+    NARY = "nary"  # cbind / rbind
+    SPOOF = "spoof"  # generated fused operator
+
+
+class AggOp(Enum):
+    """Aggregation functions."""
+
+    SUM = "sum"
+    SUM_SQ = "sumsq"
+    MIN = "min"
+    MAX = "max"
+    MEAN = "mean"
+
+
+class AggDir(Enum):
+    """Aggregation directions (SystemML: full / row- / col-wise)."""
+
+    FULL = "full"
+    ROW = "row"
+    COL = "col"
+
+
+class ExecType(Enum):
+    """Execution type of an operator in the runtime plan."""
+
+    CP = "cp"  # single-node (control program)
+    SPARK = "spark"  # simulated distributed
+
+
+# Cell-wise unary ops eligible for fusion templates.  'cumsum' is a
+# column operation and deliberately excluded.
+CELLWISE_UNARY = {
+    "exp",
+    "log",
+    "sqrt",
+    "abs",
+    "sign",
+    "round",
+    "floor",
+    "ceil",
+    "neg",
+    "not",
+    "sigmoid",
+    "sprop",
+    "pow2",
+    "erf",
+    "normpdf",
+}
+
+CELLWISE_BINARY = {
+    "+",
+    "-",
+    "*",
+    "/",
+    "^",
+    "min",
+    "max",
+    "==",
+    "!=",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "&",
+    "|",
+}
+
+CELLWISE_TERNARY = {"+*", "-*", "ifelse"}
+
+# Unary ops with f(0) == 0 (sparse-safe).
+SPARSE_SAFE_UNARY = {"abs", "sign", "sqrt", "round", "floor", "ceil", "neg", "sprop", "pow2"}

@@ -1,0 +1,16 @@
+"""A DML-subset scripting language (R-like syntax).
+
+SystemML scripts are parsed into a hierarchy of statement blocks
+delineated by control flow; per block, DAGs of high-level operators are
+compiled and executed (Section 2.1).  This package provides the same
+front end at reproduction scale:
+
+* :mod:`repro.lang.lexer`  — tokenizer,
+* :mod:`repro.lang.parser` — recursive-descent parser to the AST,
+* :mod:`repro.lang.interp` — statement-block interpreter that compiles
+  straight-line blocks to HOP DAGs and hands them to an engine.
+"""
+
+from repro.lang.interp import run_script
+
+__all__ = ["run_script"]

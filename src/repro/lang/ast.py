@@ -1,0 +1,97 @@
+"""AST node classes for the DML-subset language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass
+class Num(Expr):
+    value: float
+
+
+@dataclass
+class Var(Expr):
+    name: str
+
+
+@dataclass
+class Str(Expr):
+    value: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-' or '!'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # +, -, *, /, ^, %*%, comparisons, &, |
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: list[Expr]
+    kwargs: dict[str, Expr] = field(default_factory=dict)
+
+
+@dataclass
+class Index(Expr):
+    """X[rows, cols]; missing parts are None (full range)."""
+
+    target: Expr
+    row_lo: Optional[Expr]
+    row_hi: Optional[Expr]
+    col_lo: Optional[Expr]
+    col_hi: Optional[Expr]
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: list[Stmt]
+
+
+@dataclass
+class For(Stmt):
+    var: str
+    start: Expr
+    stop: Expr
+    body: list[Stmt]
+
+
+@dataclass
+class Script:
+    body: list[Stmt]

@@ -1,0 +1,96 @@
+"""Tokenizer for the DML-subset scripting language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LanguageError
+
+KEYWORDS = {"if", "else", "while", "for", "in", "function", "return", "TRUE", "FALSE"}
+
+# Multi-character operators first (maximal munch).
+OPERATORS = [
+    "%*%", "<-", "==", "!=", "<=", ">=", "&&", "||", "->",
+    "+", "-", "*", "/", "^", "<", ">", "=", "(", ")", "{", "}",
+    "[", "]", ",", ";", ":", "!", "&", "|",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num', 'id', 'str', 'op', 'kw', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split a script into tokens; raises LanguageError on bad input."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+            if i < n and source[i] in "eE":
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            tokens.append(Token("num", text, line, col))
+            col += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "_."):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        if ch == '"':
+            start = i
+            i += 1
+            while i < n and source[i] != '"':
+                i += 1
+            if i >= n:
+                raise LanguageError(f"unterminated string at line {line}")
+            i += 1
+            tokens.append(Token("str", source[start + 1 : i - 1], line, col))
+            col += i - start
+            continue
+        matched = None
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched is None:
+            raise LanguageError(f"unexpected character {ch!r} at line {line}:{col}")
+        tokens.append(Token("op", matched, line, col))
+        i += len(matched)
+        col += len(matched)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,259 @@
+"""Recursive-descent parser for the DML-subset language.
+
+Grammar (precedence climbing, loosest to tightest):
+
+    script    := stmt*
+    stmt      := assign | if | while | for | expr
+    assign    := ID ('=' | '<-') expr
+    expr      := or
+    or        := and ( ('|' | '||') and )*
+    and       := cmp ( ('&' | '&&') cmp )*
+    cmp       := add ( ('=='|'!='|'<'|'>'|'<='|'>=') add )?
+    add       := mul ( ('+'|'-') mul )*
+    mul       := power ( ('*'|'/'|'%*%') power )*
+    power     := unary ( '^' power )?       # right associative
+    unary     := ('-' | '!') unary | postfix
+    postfix   := primary ( '[' index ']' )*
+    primary   := NUM | ID | call | '(' expr ')'
+    call      := ID '(' args ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import LanguageError
+from repro.lang.ast import (
+    Assign,
+    Binary,
+    Call,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Index,
+    Num,
+    Script,
+    Stmt,
+    Str,
+    Unary,
+    Var,
+    While,
+)
+from repro.lang.lexer import Token, tokenize
+
+
+def parse(source: str) -> Script:
+    """Parse a script into an AST."""
+    return _Parser(tokenize(source)).parse_script()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def match(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        if text is not None and token.text != text:
+            return False
+        self.advance()
+        return True
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise LanguageError(
+                f"expected {want!r}, found {token.text!r} at line {token.line}"
+            )
+        return self.advance()
+
+    # -- statements ------------------------------------------------------
+    def parse_script(self) -> Script:
+        body: list[Stmt] = []
+        while self.peek().kind != "eof":
+            body.append(self.parse_stmt())
+            self.match("op", ";")
+        return Script(body)
+
+    def parse_stmt(self) -> Stmt:
+        token = self.peek()
+        if token.kind == "kw" and token.text == "if":
+            return self.parse_if()
+        if token.kind == "kw" and token.text == "while":
+            return self.parse_while()
+        if token.kind == "kw" and token.text == "for":
+            return self.parse_for()
+        if token.kind == "id" and self.peek(1).kind == "op" and self.peek(1).text in ("=", "<-"):
+            name = self.advance().text
+            self.advance()
+            return Assign(name, self.parse_expr())
+        return ExprStmt(self.parse_expr())
+
+    def parse_block(self) -> list[Stmt]:
+        if self.match("op", "{"):
+            body: list[Stmt] = []
+            while not self.match("op", "}"):
+                if self.peek().kind == "eof":
+                    raise LanguageError("unterminated block")
+                body.append(self.parse_stmt())
+                self.match("op", ";")
+            return body
+        return [self.parse_stmt()]
+
+    def parse_if(self) -> If:
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: list[Stmt] = []
+        if self.peek().kind == "kw" and self.peek().text == "else":
+            self.advance()
+            else_body = self.parse_block()
+        return If(cond, then_body, else_body)
+
+    def parse_while(self) -> While:
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        return While(cond, self.parse_block())
+
+    def parse_for(self) -> For:
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        var = self.expect("id").text
+        self.expect("kw", "in")
+        start = self.parse_add()
+        self.expect("op", ":")
+        stop = self.parse_add()
+        self.expect("op", ")")
+        return For(var, start, stop, self.parse_block())
+
+    # -- expressions -----------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        expr = self.parse_and()
+        while self.peek().kind == "op" and self.peek().text in ("|", "||"):
+            self.advance()
+            expr = Binary("|", expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> Expr:
+        expr = self.parse_cmp()
+        while self.peek().kind == "op" and self.peek().text in ("&", "&&"):
+            self.advance()
+            expr = Binary("&", expr, self.parse_cmp())
+        return expr
+
+    def parse_cmp(self) -> Expr:
+        expr = self.parse_add()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("==", "!=", "<", ">", "<=", ">="):
+            self.advance()
+            return Binary(token.text, expr, self.parse_add())
+        return expr
+
+    def parse_add(self) -> Expr:
+        expr = self.parse_mul()
+        while self.peek().kind == "op" and self.peek().text in ("+", "-"):
+            op = self.advance().text
+            expr = Binary(op, expr, self.parse_mul())
+        return expr
+
+    def parse_mul(self) -> Expr:
+        expr = self.parse_power()
+        while self.peek().kind == "op" and self.peek().text in ("*", "/", "%*%"):
+            op = self.advance().text
+            expr = Binary(op, expr, self.parse_power())
+        return expr
+
+    def parse_power(self) -> Expr:
+        expr = self.parse_unary()
+        if self.peek().kind == "op" and self.peek().text == "^":
+            self.advance()
+            return Binary("^", expr, self.parse_power())
+        return expr
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!"):
+            self.advance()
+            return Unary(token.text, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while self.peek().kind == "op" and self.peek().text == "[":
+            self.advance()
+            row_lo = row_hi = col_lo = col_hi = None
+            if not (self.peek().kind == "op" and self.peek().text == ","):
+                row_lo, row_hi = self.parse_range()
+            self.expect("op", ",")
+            if not (self.peek().kind == "op" and self.peek().text == "]"):
+                col_lo, col_hi = self.parse_range()
+            self.expect("op", "]")
+            expr = Index(expr, row_lo, row_hi, col_lo, col_hi)
+        return expr
+
+    def parse_range(self) -> tuple[Expr, Expr]:
+        lo = self.parse_add()
+        if self.match("op", ":"):
+            return lo, self.parse_add()
+        return lo, lo
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "num":
+            self.advance()
+            return Num(float(token.text))
+        if token.kind == "str":
+            self.advance()
+            return Str(token.text)
+        if token.kind == "kw" and token.text in ("TRUE", "FALSE"):
+            self.advance()
+            return Num(1.0 if token.text == "TRUE" else 0.0)
+        if token.kind == "id":
+            name = self.advance().text
+            if self.match("op", "("):
+                args: list[Expr] = []
+                kwargs: dict[str, Expr] = {}
+                if not self.match("op", ")"):
+                    while True:
+                        if (
+                            self.peek().kind == "id"
+                            and self.peek(1).kind == "op"
+                            and self.peek(1).text == "="
+                        ):
+                            key = self.advance().text
+                            self.advance()
+                            kwargs[key] = self.parse_expr()
+                        else:
+                            args.append(self.parse_expr())
+                        if self.match("op", ")"):
+                            break
+                        self.expect("op", ",")
+                return Call(name, args, kwargs)
+            return Var(name)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise LanguageError(
+            f"unexpected token {token.text!r} at line {token.line}"
+        )

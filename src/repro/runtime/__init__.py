@@ -1,0 +1,5 @@
+"""Runtime substrate: matrices, kernels, fused-operator skeletons."""
+
+from repro.runtime.matrix import MatrixBlock
+
+__all__ = ["MatrixBlock"]

@@ -1,0 +1,295 @@
+"""Basic operator kernels: the interpreter's runtime library.
+
+These kernels implement single high-level operators over
+:class:`~repro.runtime.matrix.MatrixBlock` values, fully materializing
+their outputs.  The "Base" engine of the experiments executes every HOP
+with exactly one kernel call, which is what operator fusion eliminates.
+
+All kernels accept scalars (Python floats) where SystemML would accept
+scalar operands, and pick the output representation (dense vs sparse)
+by the sparsity of the result.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.special
+
+from repro.errors import RuntimeExecError, ShapeError
+from repro.runtime.matrix import MatrixBlock
+
+Value = Union[MatrixBlock, float]
+
+# Unary cell functions f(0) == 0; safe to apply to non-zeros only.
+SPARSE_SAFE_UNARY = {
+    "abs",
+    "sign",
+    "sqrt",
+    "round",
+    "floor",
+    "ceil",
+    "neg",
+    "sprop",
+    "pow2",
+}
+
+_UNARY_FUNCS = {
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "sign": np.sign,
+    "round": np.round,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "neg": np.negative,
+    "not": lambda x: (x == 0).astype(np.float64),
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "sprop": lambda x: x * (1.0 - x),  # sample proportion x*(1-x)
+    "pow2": lambda x: x * x,
+    "erf": scipy.special.erf,
+    "normpdf": lambda x: np.exp(-0.5 * x * x) / np.sqrt(2.0 * np.pi),
+}
+
+_BINARY_FUNCS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "^": np.power,
+    "min": np.minimum,
+    "max": np.maximum,
+    "==": lambda a, b: (a == b).astype(np.float64),
+    "!=": lambda a, b: (a != b).astype(np.float64),
+    "<": lambda a, b: (a < b).astype(np.float64),
+    ">": lambda a, b: (a > b).astype(np.float64),
+    "<=": lambda a, b: (a <= b).astype(np.float64),
+    ">=": lambda a, b: (a >= b).astype(np.float64),
+    "&": lambda a, b: ((a != 0) & (b != 0)).astype(np.float64),
+    "|": lambda a, b: ((a != 0) | (b != 0)).astype(np.float64),
+}
+
+# Binary ops where a zero cell in *either* input yields a zero output,
+# provided the other operand is a matrix ('*' ) -- used for sparse outputs.
+_ZERO_PRESERVING_BINARY = {"*"}
+
+
+def _is_scalar(value: Value) -> bool:
+    return not isinstance(value, MatrixBlock)
+
+
+def _broadcast_dense(arr: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Broadcast a vector operand against a matrix shape (R semantics)."""
+    rows, cols = shape
+    if arr.shape == shape:
+        return arr
+    if arr.shape == (rows, 1) or arr.shape == (1, cols) or arr.shape == (1, 1):
+        return np.broadcast_to(arr, shape)
+    raise ShapeError(f"cannot broadcast {arr.shape} to {shape}")
+
+
+def unary(op: str, x: Value) -> Value:
+    """Apply a cell-wise unary function."""
+    func = _UNARY_FUNCS.get(op)
+    if func is None:
+        raise RuntimeExecError(f"unknown unary op '{op}'")
+    if _is_scalar(x):
+        return float(func(np.float64(x)))
+    if x.is_sparse and op in SPARSE_SAFE_UNARY:
+        csr = x.to_csr().copy()
+        csr.data = func(csr.data)
+        return MatrixBlock(csr).examine_representation()
+    out = func(x.to_dense())
+    return MatrixBlock(out).examine_representation()
+
+
+def cumsum(x: Value, axis: int = 0) -> Value:
+    """Column-wise cumulative sum (SystemML ``cumsum``)."""
+    if _is_scalar(x):
+        return float(x)
+    out = np.cumsum(x.to_dense(), axis=axis)
+    return MatrixBlock(out)
+
+
+def binary(op: str, a: Value, b: Value) -> Value:
+    """Apply a cell-wise binary function with R-style broadcasting."""
+    func = _BINARY_FUNCS.get(op)
+    if func is None:
+        raise RuntimeExecError(f"unknown binary op '{op}'")
+    if _is_scalar(a) and _is_scalar(b):
+        return float(func(np.float64(a), np.float64(b)))
+    if _is_scalar(a) or _is_scalar(b):
+        return _binary_matrix_scalar(op, func, a, b)
+    return _binary_matrix_matrix(op, func, a, b)
+
+
+def _binary_matrix_scalar(op, func, a: Value, b: Value) -> MatrixBlock:
+    mat, scalar, swapped = (a, b, False) if isinstance(a, MatrixBlock) else (b, a, True)
+    scalar = np.float64(scalar)
+    apply_ = (lambda x: func(scalar, x)) if swapped else (lambda x: func(x, scalar))
+    # Sparse-safe iff f(0, s) == 0 (or f(s, 0) == 0 when swapped).
+    if mat.is_sparse and float(apply_(np.float64(0.0))) == 0.0:
+        csr = mat.to_csr().copy()
+        csr.data = apply_(csr.data)
+        return MatrixBlock(csr).examine_representation()
+    out = apply_(mat.to_dense())
+    return MatrixBlock(np.asarray(out, dtype=np.float64)).examine_representation()
+
+
+def _binary_matrix_matrix(op, func, a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
+    out_shape = _binary_out_shape(a.shape, b.shape)
+    same_shape = a.shape == b.shape
+    if op in _ZERO_PRESERVING_BINARY and same_shape and (a.is_sparse or b.is_sparse):
+        result = a.to_csr().multiply(b.to_csr())
+        return MatrixBlock(sp.csr_matrix(result)).examine_representation()
+    if op in {"+", "-"} and same_shape and a.is_sparse and b.is_sparse:
+        result = a.to_csr() + b.to_csr() if op == "+" else a.to_csr() - b.to_csr()
+        return MatrixBlock(sp.csr_matrix(result)).examine_representation()
+    if op == "*" and (a.is_sparse or b.is_sparse) and not same_shape:
+        # Sparse matrix times broadcast vector stays sparse.
+        mat, vec = (a, b) if not a.is_vector() or a.shape == out_shape else (b, a)
+        if mat.shape == out_shape and mat.is_sparse:
+            dense_vec = vec.to_dense()
+            if dense_vec.shape == (out_shape[0], 1):
+                scaled = sp.diags(dense_vec.ravel()) @ mat.to_csr()
+                return MatrixBlock(sp.csr_matrix(scaled)).examine_representation()
+            if dense_vec.shape == (1, out_shape[1]):
+                scaled = mat.to_csr() @ sp.diags(dense_vec.ravel())
+                return MatrixBlock(sp.csr_matrix(scaled)).examine_representation()
+    lhs = _broadcast_dense(a.to_dense(), out_shape)
+    rhs = _broadcast_dense(b.to_dense(), out_shape)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = func(lhs, rhs)
+    return MatrixBlock(np.asarray(out, dtype=np.float64)).examine_representation()
+
+
+def _binary_out_shape(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+    if a == b:
+        return a
+    rows = max(a[0], b[0])
+    cols = max(a[1], b[1])
+    for shape in (a, b):
+        if shape not in ((rows, cols), (rows, 1), (1, cols), (1, 1)):
+            raise ShapeError(f"incompatible shapes {a} and {b}")
+    return (rows, cols)
+
+
+def ternary(op: str, a: Value, b: Value, c: Value) -> Value:
+    """Ternary cell ops: '+*' (a + b*c), '-*' (a - b*c), 'ifelse'."""
+    if op == "+*":
+        return binary("+", a, binary("*", b, c))
+    if op == "-*":
+        return binary("-", a, binary("*", b, c))
+    if op == "ifelse":
+        if _is_scalar(a) and _is_scalar(b) and _is_scalar(c):
+            return float(b) if a != 0 else float(c)
+        shapes = [v.shape for v in (a, b, c) if isinstance(v, MatrixBlock)]
+        out_shape = shapes[0]
+        for shape in shapes[1:]:
+            out_shape = _binary_out_shape(out_shape, shape)
+
+        def dense_of(v):
+            if _is_scalar(v):
+                return np.full(out_shape, float(v))
+            return _broadcast_dense(v.to_dense(), out_shape)
+
+        out = np.where(dense_of(a) != 0, dense_of(b), dense_of(c))
+        return MatrixBlock(out).examine_representation()
+    raise RuntimeExecError(f"unknown ternary op '{op}'")
+
+
+def agg_unary(op: str, x: Value, direction: str = "full") -> Value:
+    """Aggregations: sum/sumsq/min/max/mean over full/row/col direction.
+
+    Row direction aggregates within each row (output n x 1), col within
+    each column (output 1 x m), matching SystemML's rowSums/colSums.
+    """
+    if _is_scalar(x):
+        value = float(x)
+        return value * value if op == "sumsq" else value
+    axis = {"full": None, "row": 1, "col": 0}[direction]
+    if x.is_sparse and op in {"sum", "sumsq", "mean"}:
+        csr = x.to_csr()
+        target = csr.multiply(csr) if op == "sumsq" else csr
+        result = target.sum(axis=axis)
+        if op == "mean":
+            denom = x.rows * x.cols if axis is None else (x.cols if axis == 1 else x.rows)
+            result = result / denom
+        if axis is None:
+            return float(result)
+        out = np.asarray(result, dtype=np.float64)
+        return MatrixBlock(out.reshape(-1, 1) if axis == 1 else out.reshape(1, -1))
+    dense = x.to_dense()
+    if op == "sum":
+        result = dense.sum(axis=axis)
+    elif op == "sumsq":
+        result = (dense * dense).sum(axis=axis)
+    elif op == "min":
+        result = dense.min(axis=axis)
+    elif op == "max":
+        result = dense.max(axis=axis)
+    elif op == "mean":
+        result = dense.mean(axis=axis)
+    else:
+        raise RuntimeExecError(f"unknown aggregation '{op}'")
+    if axis is None:
+        return float(result)
+    out = np.asarray(result, dtype=np.float64)
+    return MatrixBlock(out.reshape(-1, 1) if axis == 1 else out.reshape(1, -1))
+
+
+def matmult(a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
+    """Matrix multiplication with sparse dispatch."""
+    if a.cols != b.rows:
+        raise ShapeError(f"matmult shapes {a.shape} x {b.shape}")
+    if a.is_sparse and b.is_sparse:
+        out = a.to_csr() @ b.to_csr()
+        return MatrixBlock(sp.csr_matrix(out)).examine_representation()
+    if a.is_sparse:
+        out = a.to_csr() @ b.to_dense()
+        return MatrixBlock(np.asarray(out)).examine_representation()
+    if b.is_sparse:
+        out = (b.to_csr().T @ a.to_dense().T).T
+        return MatrixBlock(np.ascontiguousarray(out)).examine_representation()
+    return MatrixBlock(a.to_dense() @ b.to_dense()).examine_representation()
+
+
+def transpose(x: Value) -> Value:
+    """Matrix transpose."""
+    if _is_scalar(x):
+        return float(x)
+    if x.is_sparse:
+        return MatrixBlock(x.to_csr().T.tocsr())
+    return MatrixBlock(np.ascontiguousarray(x.to_dense().T))
+
+
+def rix(x: MatrixBlock, rl: int, ru: int, cl: int, cu: int) -> MatrixBlock:
+    """Right indexing X[rl:ru, cl:cu] (0-based, exclusive upper)."""
+    if not (0 <= rl <= ru <= x.rows and 0 <= cl <= cu <= x.cols):
+        raise ShapeError(
+            f"index [{rl}:{ru}, {cl}:{cu}] out of bounds for {x.shape}"
+        )
+    if x.is_sparse:
+        return MatrixBlock(x.to_csr()[rl:ru, cl:cu]).examine_representation()
+    return MatrixBlock(np.ascontiguousarray(x.to_dense()[rl:ru, cl:cu]))
+
+
+def cbind(a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
+    """Column concatenation."""
+    if a.rows != b.rows:
+        raise ShapeError(f"cbind rows {a.rows} != {b.rows}")
+    if a.is_sparse and b.is_sparse:
+        return MatrixBlock(sp.hstack([a.to_csr(), b.to_csr()]).tocsr())
+    return MatrixBlock(np.hstack([a.to_dense(), b.to_dense()]))
+
+
+def rbind(a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
+    """Row concatenation."""
+    if a.cols != b.cols:
+        raise ShapeError(f"rbind cols {a.cols} != {b.cols}")
+    if a.is_sparse and b.is_sparse:
+        return MatrixBlock(sp.vstack([a.to_csr(), b.to_csr()]).tocsr())
+    return MatrixBlock(np.vstack([a.to_dense(), b.to_dense()]))

@@ -1,0 +1,389 @@
+"""Fused-operator skeletons (runtime integration, Figure 4).
+
+The hand-coded skeletons implement the data access over dense, sparse,
+and compressed matrices — depending on sparse-safeness over cells or
+non-zero values — and call the generated ``genexec`` per tile / row /
+non-zero batch.  Generated operators only override ``genexec``, which
+keeps them lean; the skeletons own tiling (the cache-blocking/ring
+buffer analogue), aggregation, and output assembly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.cplan import Access, CPlan, OutType
+from repro.codegen.template import TemplateType
+from repro.errors import RuntimeExecError
+from repro.runtime.compressed import CompressedMatrix
+from repro.runtime.matrix import MatrixBlock
+from repro.runtime.sideinput import SideInput
+
+_TILE_CELLS = 1 << 18
+
+
+def execute_operator(operator, inputs: list, config, stats=None):
+    """Execute a generated fused operator on runtime values.
+
+    ``inputs`` parallels ``operator.cplan.inputs``: MatrixBlock /
+    CompressedMatrix for matrix bindings, floats for scalars.
+    """
+    cplan = operator.cplan
+    if stats is not None:
+        stats.record_spoof(cplan.ttype.value)
+    if cplan.ttype in (TemplateType.CELL, TemplateType.MAGG):
+        return _execute_cellwise(operator, inputs, config)
+    if cplan.ttype is TemplateType.ROW:
+        return _execute_rowwise(operator, inputs, config)
+    if cplan.ttype is TemplateType.OUTER:
+        return _execute_outer(operator, inputs, config)
+    raise RuntimeExecError(f"unknown template {cplan.ttype}")
+
+
+# ----------------------------------------------------------------------
+# Shared input preparation
+# ----------------------------------------------------------------------
+def _split_inputs(cplan: CPlan, inputs: list):
+    main = None
+    sides: list = []
+    scalars: list[float] = []
+    for idx, (spec, value) in enumerate(zip(cplan.inputs, inputs)):
+        if idx == cplan.main_index:
+            main = value
+        elif spec.access is Access.SCALAR:
+            scalars.append(_as_float(value))
+        else:
+            sides.append((spec, value))
+    return main, sides, scalars
+
+
+def _as_float(value) -> float:
+    if isinstance(value, MatrixBlock):
+        return value.as_scalar()
+    return float(value)
+
+
+def _tile_rows(rows: int, cols: int) -> int:
+    return max(16, min(rows, _TILE_CELLS // max(1, cols)))
+
+
+def _combine(acc, value, agg: str):
+    if acc is None:
+        return value
+    if agg == "sum":
+        return acc + value
+    if agg == "min":
+        return np.minimum(acc, value)
+    if agg == "max":
+        return np.maximum(acc, value)
+    raise RuntimeExecError(f"unknown aggregation '{agg}'")
+
+
+# ----------------------------------------------------------------------
+# Cell / MultiAgg skeleton
+# ----------------------------------------------------------------------
+def _execute_cellwise(operator, inputs, config):
+    cplan = operator.cplan
+    main, sides, scalars = _split_inputs(cplan, inputs)
+    if main is None:
+        raise RuntimeExecError("cell operator without main input")
+
+    if isinstance(main, CompressedMatrix):
+        compatible = (
+            cplan.sparse_safe
+            and not sides
+            and cplan.out_type in (OutType.FULL_AGG, OutType.MULTI_AGG)
+            and all(a == "sum" for a in cplan.agg_ops)
+        )
+        if compatible:
+            return _execute_cell_compressed(operator, main, sides, scalars)
+        main = main.decompress()
+    if main.is_sparse and cplan.sparse_safe:
+        return _execute_cell_sparse(operator, main, sides, scalars)
+    return _execute_cell_dense(operator, main, sides, scalars)
+
+
+def _cell_finalize(cplan: CPlan, accs, out):
+    if cplan.out_type is OutType.NO_AGG:
+        return MatrixBlock(out).examine_representation()
+    if cplan.out_type is OutType.FULL_AGG:
+        return float(accs[0])
+    if cplan.out_type is OutType.MULTI_AGG:
+        return MatrixBlock(np.array([[float(a)] for a in accs]))
+    if cplan.out_type is OutType.ROW_AGG:
+        return MatrixBlock(out)
+    if cplan.out_type is OutType.COL_AGG:
+        return MatrixBlock(accs[0].reshape(1, -1))
+    raise RuntimeExecError(f"bad cell out type {cplan.out_type}")
+
+
+def _execute_cell_dense(operator, main: MatrixBlock, sides, scalars):
+    cplan = operator.cplan
+    rows, cols = main.shape
+    arr = main.to_dense()
+    side_inputs = [SideInput(v) for (_, v) in sides]
+    bs = _tile_rows(rows, cols)
+    agg = cplan.agg_ops[0] if cplan.agg_ops else "sum"
+
+    # Output shapes derive from the runtime inputs: operators are
+    # size-generic and shared across matrix sizes via the plan cache.
+    out = None
+    if cplan.out_type is OutType.ROW_AGG:
+        out = np.empty((rows, 1))
+    accs = [None] * max(1, len(cplan.roots))
+
+    reducer = {"sum": np.sum, "min": np.min, "max": np.max}[agg]
+    for r0 in range(0, rows, bs):
+        r1 = min(rows, r0 + bs)
+        tile = arr[r0:r1]
+        side_tiles = [s.row_tile(r0, r1) for s in side_inputs]
+        value = operator.genexec(tile, side_tiles, scalars)
+        if cplan.out_type is OutType.NO_AGG:
+            if out is None:
+                out = np.empty((rows, np.shape(value)[-1]))
+            out[r0:r1] = np.broadcast_to(value, (r1 - r0, out.shape[1]))
+        elif cplan.out_type is OutType.ROW_AGG:
+            out[r0:r1] = reducer(np.broadcast_to(value, tile.shape), axis=1, keepdims=True)
+        elif cplan.out_type is OutType.COL_AGG:
+            tile_val = reducer(np.broadcast_to(value, tile.shape), axis=0)
+            accs[0] = _combine(accs[0], tile_val, agg)
+        elif cplan.out_type is OutType.FULL_AGG:
+            accs[0] = _combine(accs[0], reducer(value), agg)
+        else:  # MULTI_AGG
+            for k, part in enumerate(value):
+                red = {"sum": np.sum, "min": np.min, "max": np.max}[cplan.agg_ops[k]]
+                accs[k] = _combine(accs[k], red(part), cplan.agg_ops[k])
+    return _cell_finalize(cplan, accs, out)
+
+
+def _execute_cell_sparse(operator, main: MatrixBlock, sides, scalars):
+    """Sparse-safe execution over non-zero cells only."""
+    import scipy.sparse as sp
+
+    cplan = operator.cplan
+    csr = main.to_csr()
+    rows, cols = csr.shape
+    side_inputs = [SideInput(v) for (_, v) in sides]
+    bs = _tile_rows(rows, max(1, csr.nnz // max(1, rows)))
+
+    accs = [None] * max(1, len(cplan.roots))
+    out_data = np.empty(csr.nnz) if cplan.out_type is OutType.NO_AGG else None
+    row_out = (
+        np.zeros((rows, 1)) if cplan.out_type is OutType.ROW_AGG else None
+    )
+    col_acc = (
+        np.zeros(cols) if cplan.out_type is OutType.COL_AGG else None
+    )
+
+    indptr = csr.indptr
+    for r0 in range(0, rows, bs):
+        r1 = min(rows, r0 + bs)
+        lo, hi = indptr[r0], indptr[r1]
+        if hi == lo:
+            continue
+        values = csr.data[lo:hi]
+        col_idx = csr.indices[lo:hi]
+        row_idx = np.repeat(
+            np.arange(r0, r1), np.diff(indptr[r0 : r1 + 1])
+        )
+        side_vals = [s.gather(row_idx, col_idx) for s in side_inputs]
+        value = operator.genexec(values, side_vals, scalars)
+        if cplan.out_type is OutType.NO_AGG:
+            out_data[lo:hi] = value
+        elif cplan.out_type is OutType.ROW_AGG:
+            row_out[r0:r1, 0] += np.bincount(
+                row_idx - r0, weights=np.broadcast_to(value, values.shape), minlength=r1 - r0
+            )
+        elif cplan.out_type is OutType.COL_AGG:
+            col_acc += np.bincount(
+                col_idx, weights=np.broadcast_to(value, values.shape), minlength=cols
+            )
+        elif cplan.out_type is OutType.FULL_AGG:
+            accs[0] = _combine(accs[0], float(np.sum(value)), "sum")
+        else:  # MULTI_AGG
+            for k, part in enumerate(value):
+                accs[k] = _combine(accs[k], float(np.sum(part)), "sum")
+
+    if cplan.out_type is OutType.NO_AGG:
+        result = sp.csr_matrix((out_data, csr.indices.copy(), csr.indptr.copy()), shape=csr.shape)
+        return MatrixBlock(result).examine_representation()
+    if cplan.out_type is OutType.ROW_AGG:
+        return MatrixBlock(row_out)
+    if cplan.out_type is OutType.COL_AGG:
+        return MatrixBlock(col_acc.reshape(1, -1))
+    if cplan.out_type is OutType.FULL_AGG:
+        return float(accs[0] or 0.0)
+    return MatrixBlock(np.array([[float(a or 0.0)] for a in accs]))
+
+
+def _execute_cell_compressed(operator, main: CompressedMatrix, sides, scalars):
+    """Execute over distinct dictionary values only (Figure 9).
+
+    Valid for sparse-safe, single-input, sum-aggregated cell plans;
+    the caller routes other plans through decompression.
+    """
+    cplan = operator.cplan
+    accs = [0.0] * max(1, len(cplan.roots))
+    for values, counts in main.iter_distinct():
+        result = operator.genexec(values, [], scalars)
+        parts = result if cplan.out_type is OutType.MULTI_AGG else (result,)
+        for k, part in enumerate(parts):
+            accs[k] += float(np.dot(np.broadcast_to(part, values.shape), counts))
+    if cplan.out_type is OutType.FULL_AGG:
+        return accs[0]
+    return MatrixBlock(np.array([[a] for a in accs]))
+
+
+# ----------------------------------------------------------------------
+# Row skeleton
+# ----------------------------------------------------------------------
+def _execute_rowwise(operator, inputs, config):
+    cplan = operator.cplan
+    main, sides, scalars = _split_inputs(cplan, inputs)
+    if main is None:
+        raise RuntimeExecError("row operator without main input")
+    if isinstance(main, CompressedMatrix):
+        main = main.decompress()
+    rows, cols = main.shape
+    side_handles = [
+        (spec, SideInput(v if not isinstance(v, CompressedMatrix) else v.decompress()))
+        for (spec, v) in sides
+    ]
+    bs = _tile_rows(rows, cols)
+    agg = cplan.agg_ops[0] if cplan.agg_ops else "sum"
+
+    # Output allocation is deferred until the first tile result is
+    # known: operators are size-generic (plan-cache reuse across
+    # sizes), so the runtime — not the CPlan — determines the shape.
+    out = None
+    acc = None
+
+    dense_main = None if main.is_sparse else main.to_dense()
+    csr = main.to_csr() if main.is_sparse else None
+    for r0 in range(0, rows, bs):
+        r1 = min(rows, r0 + bs)
+        if dense_main is not None:
+            tile = dense_main[r0:r1]
+        else:
+            tile = np.asarray(csr[r0:r1].todense())
+        side_tiles = [
+            handle.dense() if spec.access is Access.SIDE_FULL else handle.row_tile(r0, r1)
+            for (spec, handle) in side_handles
+        ]
+        value = operator.genexec(tile, side_tiles, scalars)
+        if cplan.out_type in (OutType.NO_AGG, OutType.ROW_AGG):
+            if out is None:
+                width = 1 if cplan.out_type is OutType.ROW_AGG else np.shape(value)[-1]
+                out = np.empty((rows, width))
+            out[r0:r1] = value
+        elif cplan.out_type in (OutType.COL_AGG, OutType.COL_AGG_T):
+            acc = _combine(acc, value, agg)
+        else:  # FULL_AGG
+            acc = _combine(acc, float(value), agg)
+
+    if cplan.out_type in (OutType.NO_AGG, OutType.ROW_AGG):
+        return MatrixBlock(out).examine_representation()
+    if cplan.out_type is OutType.FULL_AGG:
+        return float(acc)
+    result = np.asarray(acc)
+    if result.ndim == 1:
+        result = result.reshape(1, -1)
+    return MatrixBlock(result).examine_representation()
+
+
+# ----------------------------------------------------------------------
+# Outer-product skeleton
+# ----------------------------------------------------------------------
+def _execute_outer(operator, inputs, config):
+    import scipy.sparse as sp
+
+    cplan = operator.cplan
+    driver = inputs[cplan.main_index]
+    if isinstance(driver, CompressedMatrix):
+        driver = driver.decompress()
+    u_arr = _dense_of(inputs[cplan.u_index])
+    v_arr = _dense_of(inputs[cplan.v_index])
+    if cplan.v_transposed:
+        v_arr = np.ascontiguousarray(v_arr.T)
+    w_arr = _dense_of(inputs[cplan.w_index]) if cplan.w_index >= 0 else None
+
+    side_handles = []
+    scalars: list[float] = []
+    for idx, (spec, value) in enumerate(zip(cplan.inputs, inputs)):
+        if idx in (cplan.main_index, cplan.u_index, cplan.v_index, cplan.w_index):
+            continue
+        if spec.access is Access.SCALAR:
+            scalars.append(_as_float(value))
+        else:
+            side_handles.append(
+                SideInput(value if not isinstance(value, CompressedMatrix) else value.decompress())
+            )
+
+    rows, cols = driver.shape
+    out_type = cplan.out_type
+    if out_type is OutType.OUTER_FULL_AGG:
+        acc = 0.0
+    elif out_type is OutType.OUTER_RIGHT:
+        acc = np.zeros((rows, w_arr.shape[1]))
+    elif out_type is OutType.OUTER_LEFT:
+        acc = np.zeros((cols, w_arr.shape[1]))
+    else:  # OUTER_NO_AGG
+        acc = None
+
+    if driver.is_sparse:
+        csr = driver.to_csr()
+        indptr, indices, data = csr.indptr, csr.indices, csr.data
+        out_data = np.empty(csr.nnz) if out_type is OutType.OUTER_NO_AGG else None
+        for i in range(rows):
+            lo, hi = indptr[i], indptr[i + 1]
+            if hi == lo:
+                continue
+            cols_i = indices[lo:hi]
+            xv = data[lo:hi]
+            uv = v_arr[cols_i] @ u_arr[i]
+            side_vals = [s.gather_row(i, cols_i) for s in side_handles]
+            w_vals = operator.genexec(xv, uv, side_vals, scalars)
+            w_vals = np.broadcast_to(w_vals, xv.shape)
+            if out_type is OutType.OUTER_FULL_AGG:
+                acc += float(np.sum(w_vals))
+            elif out_type is OutType.OUTER_RIGHT:
+                acc[i] = w_vals @ w_arr[cols_i]
+            elif out_type is OutType.OUTER_LEFT:
+                acc[cols_i] += np.outer(w_vals, w_arr[i])
+            else:
+                out_data[lo:hi] = w_vals
+        if out_type is OutType.OUTER_NO_AGG:
+            result = sp.csr_matrix(
+                (out_data, indices.copy(), indptr.copy()), shape=(rows, cols)
+            )
+            return MatrixBlock(result).examine_representation()
+    else:
+        arr = driver.to_dense()
+        all_cols = np.arange(cols)
+        out_dense = np.empty((rows, cols)) if out_type is OutType.OUTER_NO_AGG else None
+        for i in range(rows):
+            xv = arr[i]
+            uv = v_arr @ u_arr[i]
+            side_vals = [s.gather_row(i, all_cols) for s in side_handles]
+            w_vals = operator.genexec(xv, uv, side_vals, scalars)
+            w_vals = np.broadcast_to(w_vals, xv.shape)
+            if out_type is OutType.OUTER_FULL_AGG:
+                acc += float(np.sum(w_vals))
+            elif out_type is OutType.OUTER_RIGHT:
+                acc[i] = w_vals @ w_arr
+            elif out_type is OutType.OUTER_LEFT:
+                acc += np.outer(w_vals, w_arr[i])
+            else:
+                out_dense[i] = w_vals
+        if out_type is OutType.OUTER_NO_AGG:
+            return MatrixBlock(out_dense).examine_representation()
+
+    if out_type is OutType.OUTER_FULL_AGG:
+        return float(acc)
+    return MatrixBlock(acc).examine_representation()
+
+
+def _dense_of(value) -> np.ndarray:
+    if isinstance(value, CompressedMatrix):
+        return value.decompress().to_dense()
+    return value.to_dense()

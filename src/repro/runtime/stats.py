@@ -1,0 +1,63 @@
+"""Runtime statistics counters.
+
+Execution engines record the bytes they materialize, the simulated
+network traffic of the distributed backend, and compilation overhead.
+The counters feed Table 3, Figure 11, and Table 6 of the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RuntimeStats:
+    """Mutable statistics attached to one engine instance."""
+
+    # Materialization traffic (local interpreter).
+    bytes_written: float = 0.0
+    bytes_read: float = 0.0
+    n_intermediates: int = 0
+
+    # Simulated distributed backend.
+    sim_broadcast_bytes: float = 0.0
+    sim_shuffle_bytes: float = 0.0
+    sim_seconds: float = 0.0
+    n_distributed_ops: int = 0
+
+    # Compiler / codegen overhead (Table 3, Fig 11).
+    n_dags_optimized: int = 0
+    n_cplans_constructed: int = 0
+    n_classes_compiled: int = 0
+    codegen_seconds: float = 0.0
+    class_compile_seconds: float = 0.0
+    plan_cache_hits: int = 0
+    plan_cache_lookups: int = 0
+
+    # Plan enumeration (Fig 12).
+    n_plans_evaluated: int = 0
+    n_plans_skipped: float = 0.0
+    n_partitions: int = 0
+
+    # Fused-operator executions by template name.
+    spoof_executions: dict = field(default_factory=dict)
+
+    def record_spoof(self, template_name: str) -> None:
+        """Count one execution of a generated operator."""
+        count = self.spoof_executions.get(template_name, 0)
+        self.spoof_executions[template_name] = count + 1
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        fresh = RuntimeStats()
+        self.__dict__.update(fresh.__dict__)
+
+    def merge(self, other: "RuntimeStats") -> None:
+        """Accumulate another stats object into this one."""
+        for key, value in other.__dict__.items():
+            if isinstance(value, dict):
+                mine = getattr(self, key)
+                for name, count in value.items():
+                    mine[name] = mine.get(name, 0) + count
+            else:
+                setattr(self, key, getattr(self, key) + value)

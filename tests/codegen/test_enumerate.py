@@ -1,0 +1,164 @@
+"""MPSkipEnum tests: optimality vs exhaustive search, pruning safety."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.codegen.cost import CostEstimator, blocked_set
+from repro.codegen.enumerate import create_assignment, mpskip_enum, _num_skip_plans
+from repro.codegen.explore import explore
+from repro.codegen.partitions import build_partitions
+from repro.config import CodegenConfig
+from repro.hops.hop import collect_dag
+from repro.hops.rewrites import apply_rewrites
+from repro.runtime.stats import RuntimeStats
+
+
+def _setup(exprs, **config_kwargs):
+    config = CodegenConfig(**config_kwargs)
+    roots = apply_rewrites([e.hop for e in exprs])
+    memo = explore(roots, config)
+    hop_by_id = {h.id: h for h in collect_dag(roots)}
+    estimator = CostEstimator(memo, config, hop_by_id)
+    parts = build_partitions(memo, roots)
+    return config, memo, hop_by_id, estimator, parts
+
+
+def _brute_force(estimator, part):
+    best_cost, best_q = math.inf, None
+    n = len(part.points)
+    for bits in itertools.product([False, True], repeat=n):
+        cost = estimator.cost_partition(part, blocked_set(part.points, bits))
+        if cost < best_cost:
+            best_cost, best_q = cost, bits
+    return best_cost, best_q
+
+
+def _shared_dag_exprs(rng, n_shared=2):
+    x = api.matrix(rng.random((50, 20)), "X")
+    shared1 = x * 2.0
+    shared2 = shared1 + 1.0
+    e1 = (shared2 * 3.0).sum()
+    e2 = (shared2 * shared1).sum()
+    e3 = (shared1 - 0.5).sum()
+    return [e1, e2, e3]
+
+
+class TestCreateAssignment:
+    def test_first_assignment_all_false(self):
+        assert create_assignment(4, 1) == [False] * 4
+
+    def test_last_assignment_all_true(self):
+        assert create_assignment(4, 16) == [True] * 4
+
+    def test_linearization_negative_to_positive(self):
+        # Position 0 is the most significant bit.
+        assert create_assignment(3, 2) == [False, False, True]
+        assert create_assignment(3, 5) == [True, False, False]
+
+    def test_all_assignments_distinct(self):
+        seen = {tuple(create_assignment(4, j)) for j in range(1, 17)}
+        assert len(seen) == 16
+
+    def test_num_skip_plans(self):
+        # q = [F, T, F, F]: last positive index 1 -> skip 2^(4-2)-1 = 3.
+        assert _num_skip_plans([False, True, False, False]) == 3
+        assert _num_skip_plans([False, False, False, True]) == 0
+        assert _num_skip_plans([True, False, False, False]) == 7
+
+
+class TestOptimality:
+    def test_matches_brute_force_shared_dag(self, rng):
+        config, memo, hop_by_id, estimator, parts = _setup(_shared_dag_exprs(rng))
+        for part in parts:
+            if not part.points:
+                continue
+            best_cost, _ = _brute_force(estimator, part)
+            result = mpskip_enum(estimator, part, config, memo, hop_by_id)
+            assert result.cost == pytest.approx(best_cost, rel=1e-12)
+
+    def test_matches_brute_force_without_pruning(self, rng):
+        config, memo, hop_by_id, estimator, parts = _setup(
+            _shared_dag_exprs(rng),
+            enable_cost_pruning=False,
+            enable_structural_pruning=False,
+        )
+        for part in parts:
+            if not part.points:
+                continue
+            best_cost, _ = _brute_force(estimator, part)
+            result = mpskip_enum(estimator, part, config, memo, hop_by_id)
+            assert result.cost == pytest.approx(best_cost, rel=1e-12)
+
+    def test_pruning_reduces_evaluations(self, rng):
+        exprs = _shared_dag_exprs(rng)
+        config_np, memo, hop_by_id, estimator, parts = _setup(
+            exprs, enable_cost_pruning=False, enable_structural_pruning=False
+        )
+        full_evals = sum(
+            mpskip_enum(estimator, p, config_np, memo, hop_by_id).n_evaluated
+            for p in parts
+            if p.points
+        )
+        config_p = CodegenConfig()
+        pruned_evals = sum(
+            mpskip_enum(estimator, p, config_p, memo, hop_by_id).n_evaluated
+            for p in parts
+            if p.points
+        )
+        assert pruned_evals <= full_evals
+
+    def test_fuse_all_costed_first(self, rng):
+        """The all-False (fuse-all) plan is plan j=1 by construction."""
+        config, memo, hop_by_id, estimator, parts = _setup(_shared_dag_exprs(rng))
+        for part in parts:
+            n = len(part.points)
+            if n:
+                assert create_assignment(n, 1) == [False] * n
+
+
+class TestLowerBound:
+    def test_static_cost_is_lower_bound(self, rng):
+        config, memo, hop_by_id, estimator, parts = _setup(_shared_dag_exprs(rng))
+        for part in parts:
+            static = estimator.static_partition_cost(part)
+            n = len(part.points)
+            for bits in itertools.product([False, True], repeat=min(n, 6)):
+                padded = list(bits) + [False] * (n - len(bits))
+                cost = estimator.cost_partition(part, blocked_set(part.points, padded))
+                bound = static + estimator.materialization_cost(
+                    part, padded, part.points
+                )
+                assert bound <= cost + 1e-9, (
+                    f"lower bound {bound} exceeds true cost {cost}"
+                )
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_optimality_property(seed):
+    """MPSkipEnum equals exhaustive search on randomized shared DAGs."""
+    rng = np.random.default_rng(seed)
+    x = api.matrix(rng.random((30, 12)), "X")
+    y = api.matrix(rng.random((30, 12)), "Y")
+    shared = x * y
+    layer = shared + float(rng.uniform(0.1, 2.0))
+    exprs = [
+        (layer * 2.0).sum(),
+        (layer + shared).sum(),
+    ]
+    config = CodegenConfig()
+    roots = apply_rewrites([e.hop for e in exprs])
+    memo = explore(roots, config)
+    hop_by_id = {h.id: h for h in collect_dag(roots)}
+    estimator = CostEstimator(memo, config, hop_by_id)
+    for part in build_partitions(memo, roots):
+        if not part.points or len(part.points) > 10:
+            continue
+        best_cost, _ = _brute_force(estimator, part)
+        result = mpskip_enum(estimator, part, config, memo, hop_by_id)
+        assert result.cost <= best_cost + 1e-9

@@ -1,0 +1,147 @@
+"""Golden test: the memo table of the paper's Figure 5 worked example.
+
+Expression (2) of the paper (MLogreg inner loop):
+
+    Q = P[, 1:k] * (X %*% v)
+    H = t(X) %*% (Q - P[, 1:k] * rowSums(Q))
+
+After exploration and basic pruning, the memo table must contain
+exactly the entry structure of Figure 5 (modulo operator ids).
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.codegen.explore import explore
+from repro.codegen.memo import MemoTable
+from repro.codegen.template import CloseType, TemplateType
+from repro.config import CodegenConfig
+from repro.hops.hop import (
+    AggBinaryOp,
+    AggUnaryOp,
+    BinaryOp,
+    IndexingOp,
+    ReorgOp,
+    collect_dag,
+)
+from repro.hops.rewrites import apply_rewrites
+
+
+@pytest.fixture
+def fig5():
+    rng = np.random.default_rng(1)
+    n, m, k = 100, 10, 4
+    X = api.matrix(rng.random((n, m)), "X")
+    v = api.matrix(rng.random((m, k)), "v")
+    P = api.matrix(rng.random((n, k + 1)), "P")
+    Q = P[:, 0:k] * (X @ v)
+    H = X.T @ (Q - P[:, 0:k] * Q.row_sums())
+    roots = apply_rewrites([H.hop])
+    memo = explore(roots, CodegenConfig())
+    hops = {h.opcode() + str(i): h for i, h in enumerate(collect_dag(roots))}
+    return roots, memo
+
+
+def _entries(memo: MemoTable, hop) -> set[tuple]:
+    return {(e.ttype, e.refs) for e in memo.get(hop.id)}
+
+
+def _find(roots, predicate):
+    matches = [h for h in collect_dag(roots) if predicate(h)]
+    assert len(matches) == 1, f"expected unique match, got {matches}"
+    return matches[0]
+
+
+class TestFig5MemoTable:
+    def test_group_count(self, fig5):
+        roots, memo = fig5
+        # Eight operators amenable to fusion (Figure 5), minus the
+        # second rix which CSE merges into the first: mm(X,v), rix,
+        # b(*), rowSums, b(*), b(-), t(X), final mm.
+        assert len(memo.group_ids()) == 8
+
+    def test_matrix_vector_mm_entry(self, fig5):
+        roots, memo = fig5
+        mm = _find(
+            roots,
+            lambda h: isinstance(h, AggBinaryOp) and not isinstance(h.inputs[0], ReorgOp),
+        )
+        assert _entries(memo, mm) == {(TemplateType.ROW, (-1, -1))}
+
+    def test_rix_row_entry(self, fig5):
+        roots, memo = fig5
+        rix = _find(roots, lambda h: isinstance(h, IndexingOp))
+        assert _entries(memo, rix) == {(TemplateType.ROW, (-1,))}
+
+    def test_transpose_open_invalid(self, fig5):
+        roots, memo = fig5
+        t_hop = _find(roots, lambda h: isinstance(h, ReorgOp))
+        (entry,) = memo.get(t_hop.id)
+        assert entry.ttype is TemplateType.ROW
+        assert entry.status is CloseType.OPEN_INVALID
+
+    def test_first_multiply_entries(self, fig5):
+        """Group 6 of Figure 5: R(-1,-1) R(-1,5) R(4,-1) R(4,5) C(-1,-1)."""
+        roots, memo = fig5
+        rix = _find(roots, lambda h: isinstance(h, IndexingOp))
+        mm = _find(
+            roots,
+            lambda h: isinstance(h, AggBinaryOp) and not isinstance(h.inputs[0], ReorgOp),
+        )
+        q = _find(
+            roots,
+            lambda h: isinstance(h, BinaryOp) and h.op == "*" and mm in h.inputs,
+        )
+        a, b = q.inputs[0].id, q.inputs[1].id
+        assert _entries(memo, q) == {
+            (TemplateType.CELL, (-1, -1)),
+            (TemplateType.ROW, (-1, -1)),
+            (TemplateType.ROW, (a, -1)),
+            (TemplateType.ROW, (-1, b)),
+            (TemplateType.ROW, (a, b)),
+        }
+
+    def test_rowsums_entries(self, fig5):
+        """Group 7: R(-1) R(6) C(6); the single-op closed C(-1) pruned."""
+        roots, memo = fig5
+        rowsums = _find(roots, lambda h: isinstance(h, AggUnaryOp))
+        q_id = rowsums.inputs[0].id
+        assert _entries(memo, rowsums) == {
+            (TemplateType.ROW, (-1,)),
+            (TemplateType.ROW, (q_id,)),
+            (TemplateType.CELL, (q_id,)),
+        }
+        cell_entry = next(
+            e for e in memo.get(rowsums.id) if e.ttype is TemplateType.CELL
+        )
+        assert cell_entry.status is CloseType.CLOSED_VALID
+
+    def test_final_mm_entries(self, fig5):
+        """Group 11: R(-1,9) R(10,-1) R(10,9), all closed valid."""
+        roots, memo = fig5
+        final = roots[0]
+        assert isinstance(final, AggBinaryOp)
+        t_id = final.inputs[0].id
+        minus_id = final.inputs[1].id
+        assert _entries(memo, final) == {
+            (TemplateType.ROW, (-1, minus_id)),
+            (TemplateType.ROW, (t_id, -1)),
+            (TemplateType.ROW, (t_id, minus_id)),
+        }
+        assert all(
+            e.status is CloseType.CLOSED_VALID for e in memo.get(final.id)
+        )
+
+    def test_minus_has_cell_and_row_entries(self, fig5):
+        roots, memo = fig5
+        minus = _find(roots, lambda h: isinstance(h, BinaryOp) and h.op == "-")
+        types = {e.ttype for e in memo.get(minus.id)}
+        assert types == {TemplateType.CELL, TemplateType.ROW}
+        # Cell entries may reference both cell subplans (8 entries in
+        # total: 4 Row x 4 ref combos is pruned by merge conditions).
+        cell_refs = {
+            e.refs for e in memo.get(minus.id) if e.ttype is TemplateType.CELL
+        }
+        assert (-1, -1) in cell_refs
+        assert len(cell_refs) == 4

@@ -1,0 +1,184 @@
+"""Memo table unit tests: entries, pruning, absorption rules."""
+
+import pytest
+
+from repro.codegen.memo import MemoEntry, MemoTable
+from repro.codegen.template import CloseType, TemplateType
+from repro.hops.hop import AggUnaryOp, BinaryOp, DataOp
+from repro.hops.types import AggDir, AggOp
+from repro.runtime.matrix import MatrixBlock
+
+C, R, M, O = (
+    TemplateType.CELL,
+    TemplateType.ROW,
+    TemplateType.MAGG,
+    TemplateType.OUTER,
+)
+
+
+def _hop(rows=10, cols=5, seed=0):
+    return DataOp(MatrixBlock.rand(rows, cols, seed=seed), "X")
+
+
+class TestMemoEntries:
+    def test_entry_refs(self):
+        entry = MemoEntry(C, (-1, 7, -1))
+        assert entry.n_refs == 1
+        assert entry.ref_ids() == [7]
+
+    def test_with_status(self):
+        entry = MemoEntry(C, (-1,))
+        closed = entry.with_status(CloseType.CLOSED_VALID)
+        assert closed.status is CloseType.CLOSED_VALID
+        assert entry.status is CloseType.OPEN_VALID  # immutable
+
+    def test_repr_markers(self):
+        assert "#" in repr(MemoEntry(C, (-1,), CloseType.CLOSED_VALID))
+        assert "!" in repr(MemoEntry(R, (-1,), CloseType.OPEN_INVALID))
+
+
+class TestMemoTable:
+    def test_add_deduplicates(self):
+        memo = MemoTable()
+        hop = _hop()
+        memo.add(hop, [MemoEntry(C, (-1,)), MemoEntry(C, (-1,))])
+        assert len(memo.get(hop.id)) == 1
+
+    def test_add_keeps_distinct_refs(self):
+        memo = MemoTable()
+        hop = _hop()
+        memo.add(hop, [MemoEntry(C, (-1,)), MemoEntry(C, (3,)), MemoEntry(R, (-1,))])
+        assert len(memo.get(hop.id)) == 3
+
+    def test_prune_redundant_removes_closed_without_refs(self):
+        memo = MemoTable()
+        hop = _hop()
+        memo.add(
+            hop,
+            [
+                MemoEntry(C, (-1,), CloseType.CLOSED_VALID),
+                MemoEntry(C, (3,), CloseType.CLOSED_VALID),
+                MemoEntry(R, (-1,), CloseType.OPEN_VALID),
+            ],
+        )
+        memo.prune_redundant(hop)
+        entries = memo.get(hop.id)
+        assert MemoEntry(C, (3,), CloseType.CLOSED_VALID) in [
+            MemoEntry(e.ttype, e.refs, e.status) for e in entries
+        ]
+        assert all(not (e.status.is_closed and e.n_refs == 0) for e in entries)
+
+    def test_prune_redundant_removes_closed_invalid(self):
+        memo = MemoTable()
+        hop = _hop()
+        memo.add(hop, [MemoEntry(C, (5,), CloseType.CLOSED_INVALID)])
+        memo.prune_redundant(hop)
+        assert memo.get(hop.id) == []
+
+    def test_root_entries_exclude_open_invalid(self):
+        memo = MemoTable()
+        hop = _hop()
+        memo.add(
+            hop,
+            [
+                MemoEntry(R, (-1,), CloseType.OPEN_INVALID),
+                MemoEntry(R, (4,), CloseType.OPEN_VALID),
+            ],
+        )
+        roots = memo.root_entries(hop.id)
+        assert len(roots) == 1 and roots[0].refs == (4,)
+
+    def test_extendable_excludes_closed(self):
+        memo = MemoTable()
+        hop = _hop()
+        memo.add(
+            hop,
+            [
+                MemoEntry(C, (4,), CloseType.CLOSED_VALID),
+                MemoEntry(R, (4,), CloseType.OPEN_VALID),
+            ],
+        )
+        assert memo.extendable_types(hop.id) == [R]
+        assert set(memo.distinct_types(hop.id)) == {C, R}
+
+
+class TestAbsorption:
+    def _table_with(self, child_hop, entries):
+        memo = MemoTable()
+        memo.add(child_hop, entries)
+        return memo
+
+    def test_cell_absorbs_open_cell_only(self):
+        child = _hop()
+        memo = self._table_with(child, [MemoEntry(C, (-1,), CloseType.OPEN_VALID)])
+        assert memo.has_compatible_plan(child.id, C)
+        memo2 = self._table_with(
+            _hop(seed=1), [MemoEntry(R, (-1,), CloseType.OPEN_VALID)]
+        )
+        assert not memo2.has_compatible_plan(list(memo2._hops)[0], C)
+
+    def test_row_absorbs_closed_rowagg_cell(self):
+        x = _hop()
+        rowsums = AggUnaryOp(AggOp.SUM, AggDir.ROW, BinaryOp("*", x, x))
+        memo = MemoTable()
+        memo.add(rowsums, [MemoEntry(C, (5,), CloseType.CLOSED_VALID)])
+        assert memo.has_compatible_plan(rowsums.id, R)
+        # ...but Cell may not absorb the closed aggregation.
+        assert not memo.has_compatible_plan(rowsums.id, C)
+
+    def test_row_does_not_absorb_closed_fullagg_cell(self):
+        x = _hop()
+        total = AggUnaryOp(AggOp.SUM, AggDir.FULL, BinaryOp("*", x, x))
+        memo = MemoTable()
+        memo.add(total, [MemoEntry(C, (5,), CloseType.CLOSED_VALID)])
+        assert not memo.has_compatible_plan(total.id, R)
+
+    def test_open_invalid_is_absorbable(self):
+        child = _hop()
+        memo = self._table_with(child, [MemoEntry(R, (-1,), CloseType.OPEN_INVALID)])
+        assert memo.has_compatible_plan(child.id, R)
+
+    def test_outer_absorbs_cell_and_outer(self):
+        child = _hop()
+        memo = self._table_with(
+            child,
+            [
+                MemoEntry(C, (-1,), CloseType.OPEN_VALID),
+                MemoEntry(O, (-1,), CloseType.OPEN_INVALID),
+            ],
+        )
+        entries = memo.compatible_entries(child.id, O)
+        assert {e.ttype for e in entries} == {C, O}
+
+
+class TestDominancePruning:
+    def test_dominated_entry_removed_for_heuristics(self):
+        memo = MemoTable()
+        x = _hop()
+        target = BinaryOp("*", x, x)  # single consumer below
+        consumer = BinaryOp("+", target, x)
+        memo.add(target, [MemoEntry(C, (-1, -1))])
+        memo.add(
+            consumer,
+            [MemoEntry(C, (target.id, -1)), MemoEntry(C, (-1, -1))],
+        )
+        memo.mark_processed(target)
+        memo.prune_dominated(consumer)
+        refs = {e.refs for e in memo.get(consumer.id)}
+        assert (-1, -1) not in refs  # dominated by (target, -1)
+
+    def test_multi_consumer_target_not_dominated(self):
+        memo = MemoTable()
+        x = _hop()
+        target = BinaryOp("*", x, x)
+        consumer1 = BinaryOp("+", target, x)
+        consumer2 = BinaryOp("-", target, x)  # second consumer
+        memo.add(target, [MemoEntry(C, (-1, -1))])
+        memo.add(
+            consumer1,
+            [MemoEntry(C, (target.id, -1)), MemoEntry(C, (-1, -1))],
+        )
+        memo.mark_processed(target)
+        memo.prune_dominated(consumer1)
+        refs = {e.refs for e in memo.get(consumer1.id)}
+        assert (-1, -1) in refs  # kept: target has multiple consumers

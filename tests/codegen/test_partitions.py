@@ -1,0 +1,141 @@
+"""Plan partitions, interesting points, and cut sets (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.codegen.explore import explore
+from repro.codegen.partitions import build_partitions, find_cut_sets
+from repro.config import CodegenConfig
+from repro.hops.hop import collect_dag
+from repro.hops.rewrites import apply_rewrites
+
+
+def _partitions(exprs):
+    roots = apply_rewrites([e.hop for e in exprs])
+    memo = explore(roots, CodegenConfig())
+    parts = build_partitions(memo, roots)
+    hop_by_id = {h.id: h for h in collect_dag(roots)}
+    return roots, memo, parts, hop_by_id
+
+
+def _mats(rng, *shapes):
+    return [api.matrix(rng.random(s), f"M{i}") for i, s in enumerate(shapes)]
+
+
+class TestPartitions:
+    def test_independent_expressions_separate_partitions(self, rng):
+        x, y = _mats(rng, (20, 10), (30, 8))
+        _, _, parts, _ = _partitions([(x * 2.0 + 1.0).sum(), (y * 3.0).sum()])
+        assert len(parts) == 2
+
+    def test_shared_input_single_partition(self, rng):
+        (x,) = _mats(rng, (20, 10))
+        # Shared cell subexpression connects the two aggregates.
+        shared = x * 2.0
+        _, _, parts, _ = _partitions([(shared * 3.0).sum(), (shared + 1.0).sum()])
+        assert len(parts) == 1
+
+    def test_roots_are_never_referenced(self, rng):
+        (x,) = _mats(rng, (20, 10))
+        _, memo, parts, _ = _partitions([(x * 2.0 + 1.0).sum()])
+        (part,) = parts
+        for root in part.roots:
+            for member in part.members:
+                for entry in memo.get(member):
+                    assert root not in entry.ref_ids() or member == root
+
+    def test_inputs_outside_partition(self, rng):
+        (x,) = _mats(rng, (20, 10))
+        _, _, parts, _ = _partitions([(x * 2.0).sum()])
+        (part,) = parts
+        assert x.hop.id in part.inputs
+        assert not (part.inputs & part.members)
+
+    def test_materialization_points_multi_consumer(self, rng):
+        (x,) = _mats(rng, (20, 10))
+        shared = x * 2.0  # consumed twice below
+        _, _, parts, hop_by_id = _partitions(
+            [(shared * 3.0).sum(), (shared + 1.0).sum()]
+        )
+        (part,) = parts
+        assert shared.hop.id in part.mat_points
+
+    def test_interesting_points_per_consumer(self, rng):
+        (x,) = _mats(rng, (20, 10))
+        shared = x * 2.0
+        _, _, parts, _ = _partitions([(shared * 3.0).sum(), (shared + 1.0).sum()])
+        (part,) = parts
+        consumers = {
+            p.consumer_id for p in part.points if p.target_id == shared.hop.id
+        }
+        assert len(consumers) == 2  # one boolean decision per dependency
+
+    def test_no_points_for_linear_chain(self, rng):
+        (x,) = _mats(rng, (20, 10))
+        _, _, parts, _ = _partitions([(x * 2.0 + 1.0).sum()])
+        (part,) = parts
+        mp_points = [p for p in part.points if p.target_id in part.mat_points]
+        assert mp_points == []
+
+    def test_template_switch_point(self, rng):
+        """Y + X (U V^T): the Cell consumer of the Outer group is a
+        template switch (paper example in Section 4.2)."""
+        x = api.matrix(
+            api.MatrixBlock.rand(60, 50, sparsity=0.05, seed=3)
+            if hasattr(api, "MatrixBlock")
+            else np.random.default_rng(0).random((60, 50)),
+            "X",
+        )
+        from repro.runtime.matrix import MatrixBlock
+
+        x = api.matrix(MatrixBlock.rand(60, 50, sparsity=0.05, seed=3), "X")
+        y = api.matrix(np.random.default_rng(1).random((60, 50)), "Y")
+        u = api.matrix(np.random.default_rng(2).random((60, 4)), "U")
+        v = api.matrix(np.random.default_rng(3).random((50, 4)), "V")
+        expr = y + x * (u @ v.T)
+        roots = apply_rewrites([expr.hop])
+        memo = explore(roots, CodegenConfig())
+        parts = build_partitions(memo, roots)
+        switches = [
+            p
+            for part in parts
+            for p in part.points
+            if p.target_id not in part.mat_points
+        ]
+        assert switches, "expected at least one template-switch point"
+
+
+class TestCutSets:
+    def test_chain_of_shared_points_yields_cut_set(self, rng):
+        (x,) = _mats(rng, (30, 10))
+        a = x * 2.0
+        b = a + 1.0  # shared twice
+        e1 = (b * 3.0).sum()
+        e2 = (b * 4.0) * a  # a also consumed here
+        e3 = e2.sum()
+        roots = apply_rewrites([e1.hop, e3.hop])
+        memo = explore(roots, CodegenConfig())
+        parts = build_partitions(memo, roots)
+        hop_by_id = {h.id: h for h in collect_dag(roots)}
+        (part,) = parts
+        if len(part.points) >= 3:
+            cuts = find_cut_sets(part, memo, hop_by_id)
+            for cut in cuts:
+                covered = set(cut.cut_points) | set(cut.side1) | set(cut.side2)
+                assert covered <= set(range(len(part.points)))
+                assert not (set(cut.side1) & set(cut.side2))
+
+    def test_cut_set_scores_sorted(self, rng):
+        (x,) = _mats(rng, (30, 10))
+        a = x * 2.0
+        b = a * 3.0
+        e1, e2 = (b + a).sum(), (b - a).sum()
+        roots = apply_rewrites([e1.hop, e2.hop])
+        memo = explore(roots, CodegenConfig())
+        parts = build_partitions(memo, roots)
+        hop_by_id = {h.id: h for h in collect_dag(roots)}
+        for part in parts:
+            cuts = find_cut_sets(part, memo, hop_by_id)
+            scores = [c.score for c in cuts]
+            assert scores == sorted(scores)

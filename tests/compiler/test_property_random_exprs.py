@@ -1,0 +1,139 @@
+"""Property-based engine equivalence on randomly generated DAGs.
+
+A hypothesis strategy builds random expression DAGs (cell chains,
+broadcasts, aggregations, matmult chains, shared subexpressions) and
+asserts that all execution engines — including the fusing ones — agree
+with the base interpreter.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.runtime.matrix import MatrixBlock
+from tests.conftest import assert_engines_agree
+
+ROWS, COLS = 40, 12
+
+_SAFE_UNARY = ["abs", "sqrt_abs", "sigmoid", "pow2", "exp_small", "round"]
+_BINARY = ["+", "-", "*", "min", "max"]
+
+
+def _apply_unary(name, expr):
+    if name == "abs":
+        return api.abs_(expr)
+    if name == "sqrt_abs":
+        return api.sqrt(api.abs_(expr))
+    if name == "sigmoid":
+        return api.sigmoid(expr)
+    if name == "pow2":
+        return expr * expr
+    if name == "exp_small":
+        return api.exp(expr * 0.1)
+    if name == "round":
+        return api.round_(expr)
+    raise AssertionError(name)
+
+
+@st.composite
+def expression_dags(draw):
+    """Build 1-3 root expressions over a small shared leaf pool."""
+    seed = draw(st.integers(0, 2**20))
+    rng = np.random.default_rng(seed)
+    n_leaves = draw(st.integers(2, 4))
+    leaves = []
+    for i in range(n_leaves):
+        sparse = draw(st.booleans())
+        if sparse:
+            block = MatrixBlock.rand(
+                ROWS, COLS, sparsity=0.15, seed=seed + i, low=0.2, high=1.5
+            )
+        else:
+            block = MatrixBlock(rng.uniform(-1.0, 1.0, (ROWS, COLS)))
+        leaves.append(block)
+    col_vec = MatrixBlock(rng.uniform(0.5, 1.5, (ROWS, 1)))
+    row_vec = MatrixBlock(rng.uniform(0.5, 1.5, (1, COLS)))
+
+    n_ops = draw(st.integers(2, 10))
+    op_script = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["unary", "binary", "scalar", "vector"]))
+        if kind == "unary":
+            op_script.append(("unary", draw(st.sampled_from(_SAFE_UNARY))))
+        elif kind == "binary":
+            op_script.append(
+                ("binary", draw(st.sampled_from(_BINARY)), draw(st.integers(0, 7)))
+            )
+        elif kind == "scalar":
+            op_script.append(
+                ("scalar", draw(st.sampled_from(_BINARY)),
+                 draw(st.floats(0.25, 2.0)))
+            )
+        else:
+            op_script.append(
+                ("vector", draw(st.sampled_from(["+", "*"])), draw(st.booleans()))
+            )
+    finishers = draw(
+        st.lists(
+            st.sampled_from(["sum", "row_sums", "col_sums", "raw", "mv_chain"]),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return leaves, col_vec, row_vec, op_script, finishers, seed
+
+
+def _build(leaves, col_vec, row_vec, op_script, finishers, seed):
+    mats = [api.matrix(block, f"L{i}") for i, block in enumerate(leaves)]
+    cvec = api.matrix(col_vec, "cv")
+    rvec = api.matrix(row_vec, "rv")
+    pool = list(mats)
+    expr = mats[0]
+    for step in op_script:
+        if step[0] == "unary":
+            expr = _apply_unary(step[1], expr)
+        elif step[0] == "binary":
+            other = pool[step[2] % len(pool)]
+            expr = api.Mat(
+                __import__("repro.hops.hop", fromlist=["BinaryOp"]).BinaryOp(
+                    step[1], expr.hop, other.hop
+                )
+            )
+        elif step[0] == "scalar":
+            expr = api.Mat(
+                __import__("repro.hops.hop", fromlist=["BinaryOp"]).BinaryOp(
+                    step[1], expr.hop, api.scalar(step[2]).hop
+                )
+            )
+        else:
+            vec = cvec if step[2] else rvec
+            expr = expr * vec if step[1] == "*" else expr + vec
+        pool.append(expr)
+
+    rng = np.random.default_rng(seed)
+    roots = []
+    for finisher in finishers:
+        base = pool[rng.integers(0, len(pool))]
+        if finisher == "sum":
+            roots.append(base.sum())
+        elif finisher == "row_sums":
+            roots.append(base.row_sums())
+        elif finisher == "col_sums":
+            roots.append(base.col_sums())
+        elif finisher == "mv_chain":
+            v = api.matrix(rng.uniform(0.1, 1.0, (COLS, 1)), "v")
+            roots.append(base.T @ (base @ v))
+        else:
+            roots.append(base)
+    return roots
+
+
+@given(expression_dags())
+@settings(max_examples=40, deadline=None)
+def test_all_engines_agree_on_random_dags(dag):
+    leaves, col_vec, row_vec, op_script, finishers, seed = dag
+    assert_engines_agree(
+        lambda: _build(leaves, col_vec, row_vec, op_script, finishers, seed),
+        rtol=1e-7,
+        atol=1e-9,
+    )

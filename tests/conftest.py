@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.compiler.execution import Engine
+from repro.config import CodegenConfig
+from repro.runtime.matrix import MatrixBlock
+
+ALL_MODES = ["base", "numpy", "fused", "gen", "gen-fa", "gen-fnr"]
+GEN_MODES = ["gen", "gen-fa", "gen-fnr"]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def make_engine(mode: str, **config_kwargs) -> Engine:
+    config = CodegenConfig(**config_kwargs) if config_kwargs else CodegenConfig()
+    return Engine(mode=mode, config=config)
+
+
+def dense(rng, rows, cols, low=-1.0, high=1.0):
+    return MatrixBlock(rng.uniform(low, high, size=(rows, cols)))
+
+
+def sparse(rows, cols, sparsity=0.1, seed=0):
+    return MatrixBlock.rand(rows, cols, sparsity=sparsity, seed=seed, low=0.5, high=2.0)
+
+
+def as_array(value):
+    """Runtime value -> comparable numpy array/scalar."""
+    if isinstance(value, MatrixBlock):
+        return value.to_dense()
+    return np.float64(value)
+
+
+def assert_engines_agree(build_exprs, modes=ALL_MODES, rtol=1e-8, atol=1e-10):
+    """Evaluate the expression builder under every mode and compare."""
+    reference = None
+    for mode in modes:
+        engine = make_engine(mode)
+        results = [as_array(v) for v in api.eval_all(build_exprs(), engine=engine)]
+        if reference is None:
+            reference = results
+            continue
+        assert len(results) == len(reference)
+        for idx, (expected, actual) in enumerate(zip(reference, results)):
+            np.testing.assert_allclose(
+                actual,
+                expected,
+                rtol=rtol,
+                atol=atol,
+                err_msg=f"mode={mode} output={idx}",
+            )
+    return reference

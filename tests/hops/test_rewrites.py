@@ -1,0 +1,143 @@
+"""Rewrite and CSE tests: structure and semantics preservation."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.compiler.execution import Engine
+from repro.hops.hop import (
+    AggUnaryOp,
+    BinaryOp,
+    LiteralOp,
+    ReorgOp,
+    UnaryOp,
+    collect_dag,
+)
+from repro.hops.rewrites import apply_rewrites, eliminate_cse, validate_dag
+
+
+def _x(rows=5, cols=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return api.matrix(rng.random((rows, cols)), "X")
+
+
+class TestSimplifications:
+    def test_double_transpose(self):
+        x = _x()
+        roots = apply_rewrites([x.T.T.hop])
+        assert roots[0] is x.hop
+
+    def test_mult_by_one(self):
+        x = _x()
+        assert apply_rewrites([(x * 1.0).hop])[0] is x.hop
+        assert apply_rewrites([(1.0 * x).hop])[0] is x.hop
+
+    def test_div_by_one(self):
+        x = _x()
+        assert apply_rewrites([(x / 1.0).hop])[0] is x.hop
+
+    def test_add_zero(self):
+        x = _x()
+        assert apply_rewrites([(x + 0.0).hop])[0] is x.hop
+        assert apply_rewrites([(0.0 + x).hop])[0] is x.hop
+
+    def test_sub_zero(self):
+        x = _x()
+        assert apply_rewrites([(x - 0.0).hop])[0] is x.hop
+
+    def test_zero_minus_matrix_becomes_neg(self):
+        x = _x()
+        root = apply_rewrites([(0.0 - x).hop])[0]
+        assert isinstance(root, UnaryOp) and root.op == "neg"
+
+    def test_pow_one(self):
+        x = _x()
+        assert apply_rewrites([(x ** 1.0).hop])[0] is x.hop
+
+    def test_pow_two_becomes_pow2(self):
+        x = _x()
+        root = apply_rewrites([(x ** 2.0).hop])[0]
+        assert isinstance(root, UnaryOp) and root.op == "pow2"
+
+    def test_double_negation(self):
+        x = _x()
+        assert apply_rewrites([(-(-x)).hop])[0] is x.hop
+
+    def test_sum_of_transpose(self):
+        x = _x()
+        root = apply_rewrites([x.T.sum().hop])[0]
+        assert isinstance(root, AggUnaryOp)
+        assert not isinstance(root.inputs[0], ReorgOp)
+
+    def test_constant_folding(self):
+        root = apply_rewrites([(api.scalar(2.0) * api.scalar(3.0)).hop])[0]
+        assert isinstance(root, LiteralOp) and root.value == 6.0
+
+    def test_ifelse_literal_condition(self):
+        x, y = _x(seed=1), _x(seed=2)
+        root = apply_rewrites([api.ifelse(1.0, x, y).hop])[0]
+        assert root is x.hop
+
+
+class TestCse:
+    def test_identical_subtrees_merged(self):
+        x = _x()
+        expr = (x * 2.0).sum() + (x * 2.0).sum()
+        roots = eliminate_cse([expr.hop])
+        dag = collect_dag(roots)
+        sums = [h for h in dag if isinstance(h, AggUnaryOp)]
+        assert len(sums) == 1
+
+    def test_commutative_merge(self):
+        x, y = _x(seed=1), _x(seed=2)
+        expr = (x * y).sum() + (y * x).sum()
+        roots = eliminate_cse([expr.hop])
+        mults = [h for h in collect_dag(roots) if isinstance(h, BinaryOp) and h.op == "*"]
+        assert len(mults) == 1
+
+    def test_noncommutative_not_merged(self):
+        x, y = _x(seed=1), _x(seed=2)
+        expr = (x - y).sum() + (y - x).sum()
+        roots = eliminate_cse([expr.hop])
+        subs = [h for h in collect_dag(roots) if isinstance(h, BinaryOp) and h.op == "-"]
+        assert len(subs) == 2
+
+    def test_multi_root_cse(self):
+        x = _x()
+        a, b = (x * 3.0).sum(), (x * 3.0).row_sums()
+        roots = eliminate_cse([a.hop, b.hop])
+        mults = [h for h in collect_dag(roots) if isinstance(h, BinaryOp)]
+        assert len(mults) == 1
+
+    def test_dag_valid_after_rewrites(self):
+        x = _x()
+        expr = ((x * 1.0 + 0.0).T.T ** 2.0).sum() + (x ** 2.0).sum()
+        roots = apply_rewrites([expr.hop])
+        validate_dag(roots)
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda x, y: (x * 1.0 + 0.0 - 0.0),
+            lambda x, y: x.T.T + y,
+            lambda x, y: (x ** 2.0) + (y ** 1.0),
+            lambda x, y: x.T.sum() + (0.0 - y).sum(),
+            lambda x, y: (x * y).sum() + (y * x).sum(),
+            lambda x, y: api.ifelse(0.0, x, y),
+        ],
+    )
+    def test_rewritten_equals_raw(self, builder):
+        rng = np.random.default_rng(5)
+        xd, yd = rng.random((6, 6)), rng.random((6, 6))
+
+        def run(enable):
+            x, y = api.matrix(xd, "X"), api.matrix(yd, "Y")
+            expr = builder(x, y)
+            roots = apply_rewrites([expr.hop]) if enable else [expr.hop]
+            engine = Engine(mode="base")
+            (value,) = engine.execute(roots)
+            return value if isinstance(value, float) else value.to_dense()
+
+        np.testing.assert_allclose(run(True), run(False), rtol=1e-12)

@@ -1,0 +1,131 @@
+"""Simulated distributed backend: correctness and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.compiler.execution import Engine
+from repro.config import ClusterConfig, CodegenConfig
+from repro.runtime.distributed import BlockedMatrix, _partition_bounds
+from repro.runtime.matrix import MatrixBlock
+
+
+def _cluster_config(budget=1e5, **cluster_kwargs) -> CodegenConfig:
+    return CodegenConfig(
+        cluster=ClusterConfig(**cluster_kwargs), local_mem_budget=budget
+    )
+
+
+class TestBlockedMatrix:
+    def test_partition_bounds_cover_rows(self):
+        bounds = _partition_bounds(100, 6)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 100
+        covered = sum(hi - lo for lo, hi in bounds)
+        assert covered == 100
+
+    def test_partition_roundtrip_dense(self, rng):
+        block = MatrixBlock(rng.random((50, 7)))
+        blocked = BlockedMatrix.partition(block, 4)
+        assert len(blocked.blocks) == 4
+        np.testing.assert_allclose(blocked.collect().to_dense(), block.to_dense())
+
+    def test_partition_roundtrip_sparse(self):
+        block = MatrixBlock.rand(60, 10, sparsity=0.1, seed=4)
+        blocked = BlockedMatrix.partition(block, 5)
+        np.testing.assert_allclose(blocked.collect().to_dense(), block.to_dense())
+
+    def test_more_partitions_than_rows(self, rng):
+        block = MatrixBlock(rng.random((3, 2)))
+        blocked = BlockedMatrix.partition(block, 8)
+        assert len(blocked.blocks) == 3
+
+
+class TestDistributedExecution:
+    def test_results_identical_to_local(self, rng):
+        data = rng.random((5000, 20))  # 800 KB > 100 KB budget
+        v = rng.random((20, 1))
+
+        def build():
+            x = api.matrix(data, "X")
+            return [x.T @ (x @ api.matrix(v, "v")), (x * 2.0 + 1.0).sum()]
+
+        local = api.eval_all(build(), engine=Engine(mode="base"))
+        for mode in ("base", "gen", "gen-fa"):
+            engine = Engine(mode=mode, config=_cluster_config())
+            dist = api.eval_all(build(), engine=engine)
+            np.testing.assert_allclose(
+                dist[0].to_dense(), local[0].to_dense(), rtol=1e-9
+            )
+            assert dist[1] == pytest.approx(local[1])
+            assert engine.stats.n_distributed_ops > 0
+
+    def test_small_ops_stay_local(self, rng):
+        data = rng.random((10, 4))  # tiny: below budget
+        engine = Engine(mode="base", config=_cluster_config())
+        api.eval((api.matrix(data, "X") * 2.0).sum(), engine=engine)
+        assert engine.stats.n_distributed_ops == 0
+
+    def test_broadcast_charged_for_side_inputs(self, rng):
+        data = rng.random((5000, 20))
+        v = rng.random((5000, 1))
+        engine = Engine(mode="base", config=_cluster_config())
+        api.eval(
+            (api.matrix(data, "X") * api.matrix(v, "v")).sum(), engine=engine
+        )
+        assert engine.stats.sim_broadcast_bytes > 0
+        assert engine.stats.sim_seconds > 0
+
+    def test_rdd_cache_avoids_rereads(self, rng):
+        data = rng.random((5000, 20))
+
+        def build(x):
+            return [(x * 2.0).sum(), (x * 3.0).sum(), (x + 1.0).sum()]
+
+        engine = Engine(mode="base", config=_cluster_config())
+        x = api.matrix(data, "X")
+        first = api.eval_all(build(x), engine=engine)
+        cost_three_reads = engine.stats.sim_seconds
+        engine2 = Engine(mode="base", config=_cluster_config())
+        api.eval_all(build(api.matrix(data, "X"))[:1], engine=engine2)
+        cost_one_read = engine2.stats.sim_seconds
+        # Three cached re-reads must cost far less than three cold reads.
+        assert cost_three_reads < 2.5 * cost_one_read
+
+    def test_broadcast_pressure_evicts_cache(self, rng):
+        data = rng.random((5000, 20))
+        side = rng.random((5000, 1))
+        config = _cluster_config(executor_mem=2e5)  # tiny aggregate memory
+
+        def build():
+            x = api.matrix(data, "X")
+            s = api.matrix(side, "s")
+            return [((x * s) + s).sum()]
+
+        engine = Engine(mode="base", config=config)
+        api.eval_all(build() * 1, engine=engine)
+        large_mem = Engine(mode="base", config=_cluster_config())
+        api.eval_all(build(), engine=large_mem)
+        assert engine.stats.sim_seconds >= large_mem.stats.sim_seconds
+
+    def test_distributed_spoof_operator(self, rng):
+        data = rng.random((5000, 30))
+        engine = Engine(mode="gen", config=_cluster_config())
+        x = api.matrix(data, "X")
+        result = api.eval((x * x * 2.0).sum(), engine=engine)
+        assert result == pytest.approx(float((data * data * 2.0).sum()))
+        assert engine.stats.n_distributed_ops >= 1
+
+    def test_exec_type_selection(self, rng):
+        from repro.hops.types import ExecType
+
+        data = rng.random((5000, 20))
+        engine = Engine(mode="base", config=_cluster_config())
+        x = api.matrix(data, "X")
+        expr = (x * 2.0).sum()
+        engine.execute([expr.hop])
+        # The cell op over X exceeds the budget.
+        assert any(
+            h.exec_type is ExecType.SPARK
+            for h in [expr.hop] + expr.hop.inputs
+            if h.is_matrix or h.inputs
+        )

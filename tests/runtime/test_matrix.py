@@ -1,0 +1,142 @@
+"""Unit and property tests for MatrixBlock."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.runtime.matrix import MatrixBlock
+
+
+class TestConstruction:
+    def test_from_2d_array(self):
+        block = MatrixBlock(np.arange(6.0).reshape(2, 3))
+        assert block.shape == (2, 3)
+        assert not block.is_sparse
+        assert block.nnz == 5  # the zero cell is not counted
+
+    def test_from_1d_array_becomes_column(self):
+        block = MatrixBlock(np.array([1.0, 2.0, 3.0]))
+        assert block.shape == (3, 1)
+
+    def test_from_scalar_array(self):
+        block = MatrixBlock(np.array(5.0))
+        assert block.shape == (1, 1)
+        assert block.as_scalar() == 5.0
+
+    def test_from_list(self):
+        block = MatrixBlock([[1.0, 2.0], [3.0, 4.0]])
+        assert block.shape == (2, 2)
+
+    def test_from_scipy(self):
+        csr = sp.random(10, 10, density=0.3, format="csr", random_state=1)
+        block = MatrixBlock(csr)
+        assert block.is_sparse
+        assert block.shape == (10, 10)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ShapeError):
+            MatrixBlock(np.zeros((2, 2, 2)))
+
+    def test_copy_constructor_shares_storage(self):
+        a = MatrixBlock(np.ones((3, 3)))
+        b = MatrixBlock(a)
+        assert b.to_dense() is a.to_dense()
+
+    def test_zeros(self):
+        dense = MatrixBlock.zeros(4, 5)
+        assert dense.shape == (4, 5) and dense.nnz == 0
+        sparse = MatrixBlock.zeros(4, 5, sparse=True)
+        assert sparse.is_sparse and sparse.nnz == 0
+
+
+class TestRand:
+    def test_dense_rand_range(self):
+        block = MatrixBlock.rand(50, 20, seed=1, low=2.0, high=3.0)
+        arr = block.to_dense()
+        assert arr.min() >= 2.0 and arr.max() < 3.0
+
+    def test_sparse_rand_sparsity(self):
+        block = MatrixBlock.rand(200, 100, sparsity=0.05, seed=2)
+        assert block.is_sparse
+        assert abs(block.sparsity - 0.05) < 0.02
+
+    def test_rand_deterministic(self):
+        a = MatrixBlock.rand(10, 10, seed=42)
+        b = MatrixBlock.rand(10, 10, seed=42)
+        assert a.allclose(b)
+
+
+class TestRepresentation:
+    def test_examine_densifies_dense_content(self):
+        csr = sp.csr_matrix(np.ones((5, 5)))
+        block = MatrixBlock(csr)
+        block.examine_representation()
+        assert not block.is_sparse
+
+    def test_examine_sparsifies_sparse_content(self):
+        arr = np.zeros((100, 100))
+        arr[0, 0] = 1.0
+        block = MatrixBlock(arr)
+        block.examine_representation()
+        assert block.is_sparse
+
+    def test_roundtrip_preserves_values(self):
+        arr = np.zeros((50, 50))
+        arr[:5, :5] = 3.0
+        block = MatrixBlock(arr).examine_representation()
+        np.testing.assert_array_equal(block.to_dense(), arr)
+
+    def test_size_bytes_sparse_smaller(self):
+        arr = np.zeros((100, 100))
+        arr[0, :3] = 1.0
+        dense = MatrixBlock(arr)
+        sparse = MatrixBlock(arr).examine_representation()
+        assert sparse.size_bytes < dense.size_bytes
+
+
+class TestAccess:
+    def test_get(self):
+        block = MatrixBlock(np.arange(12.0).reshape(3, 4))
+        assert block.get(1, 2) == 6.0
+
+    def test_get_sparse(self):
+        block = MatrixBlock.rand(20, 20, sparsity=0.1, seed=3)
+        dense = block.to_dense()
+        assert block.get(4, 7) == dense[4, 7]
+
+    def test_row(self):
+        block = MatrixBlock(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_array_equal(block.row(1), [3.0, 4.0, 5.0])
+
+    def test_as_scalar_rejects_matrix(self):
+        with pytest.raises(ShapeError):
+            MatrixBlock(np.ones((2, 2))).as_scalar()
+
+    def test_is_vector(self):
+        assert MatrixBlock(np.ones((5, 1))).is_vector()
+        assert MatrixBlock(np.ones((1, 5))).is_vector()
+        assert not MatrixBlock(np.ones((2, 5))).is_vector()
+
+
+@given(
+    rows=st.integers(1, 30),
+    cols=st.integers(1, 30),
+    sparsity=st.floats(0.0, 1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_rand_nnz_matches_sparsity(rows, cols, sparsity):
+    block = MatrixBlock.rand(rows, cols, sparsity=sparsity, seed=11)
+    assert 0 <= block.nnz <= rows * cols
+    assert block.shape == (rows, cols)
+
+
+@given(st.integers(1, 20), st.integers(1, 20))
+@settings(max_examples=30, deadline=None)
+def test_dense_sparse_roundtrip(rows, cols):
+    rng = np.random.default_rng(rows * 31 + cols)
+    arr = rng.random((rows, cols)) * (rng.random((rows, cols)) > 0.5)
+    block = MatrixBlock(arr)
+    via_sparse = MatrixBlock(block.to_csr())
+    np.testing.assert_allclose(via_sparse.to_dense(), arr)

@@ -1,0 +1,325 @@
+"""Kernel library tests against NumPy oracles (incl. property tests)."""
+
+import numpy as np
+import pytest
+import scipy.special
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RuntimeExecError, ShapeError
+from repro.runtime import ops
+from repro.runtime.matrix import MatrixBlock
+
+RNG = np.random.default_rng(123)
+
+
+def _dense(rows, cols, low=-2.0, high=2.0, seed=None):
+    rng = np.random.default_rng(seed) if seed is not None else RNG
+    return MatrixBlock(rng.uniform(low, high, (rows, cols)))
+
+
+def _sparse(rows, cols, sparsity=0.2, seed=0):
+    return MatrixBlock.rand(rows, cols, sparsity=sparsity, seed=seed, low=0.1, high=2.0)
+
+
+class TestUnary:
+    @pytest.mark.parametrize(
+        "op,ref",
+        [
+            ("exp", np.exp),
+            ("log", np.log),
+            ("sqrt", np.sqrt),
+            ("abs", np.abs),
+            ("sign", np.sign),
+            ("round", np.round),
+            ("floor", np.floor),
+            ("ceil", np.ceil),
+            ("neg", np.negative),
+            ("sigmoid", lambda x: 1 / (1 + np.exp(-x))),
+            ("sprop", lambda x: x * (1 - x)),
+            ("pow2", np.square),
+            ("erf", scipy.special.erf),
+        ],
+    )
+    def test_dense_matches_numpy(self, op, ref):
+        x = _dense(7, 5, low=0.1, high=2.0, seed=5)
+        result = ops.unary(op, x)
+        np.testing.assert_allclose(result.to_dense(), ref(x.to_dense()))
+
+    def test_unary_scalar(self):
+        assert ops.unary("exp", 0.0) == 1.0
+        assert ops.unary("not", 0.0) == 1.0
+        assert ops.unary("not", 3.0) == 0.0
+
+    def test_sparse_safe_keeps_sparse(self):
+        x = _sparse(50, 50, 0.05, seed=2)
+        result = ops.unary("abs", x)
+        assert result.is_sparse
+        np.testing.assert_allclose(result.to_dense(), np.abs(x.to_dense()))
+
+    def test_unsafe_densifies(self):
+        x = _sparse(10, 10, 0.1, seed=3)
+        result = ops.unary("exp", x)
+        np.testing.assert_allclose(result.to_dense(), np.exp(x.to_dense()))
+
+    def test_unknown_op(self):
+        with pytest.raises(RuntimeExecError):
+            ops.unary("nope", 1.0)
+
+    def test_cumsum(self):
+        x = _dense(4, 3, seed=9)
+        np.testing.assert_allclose(
+            ops.cumsum(x).to_dense(), np.cumsum(x.to_dense(), axis=0)
+        )
+
+
+class TestBinary:
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "min", "max"])
+    def test_matrix_matrix(self, op):
+        a, b = _dense(6, 4, seed=1), _dense(6, 4, low=0.5, high=2.0, seed=2)
+        ref = {
+            "+": np.add, "-": np.subtract, "*": np.multiply,
+            "/": np.divide, "min": np.minimum, "max": np.maximum,
+        }[op]
+        result = ops.binary(op, a, b)
+        np.testing.assert_allclose(result.to_dense(), ref(a.to_dense(), b.to_dense()))
+
+    def test_matrix_scalar(self):
+        a = _dense(3, 3, seed=4)
+        result = ops.binary("*", a, 2.5)
+        np.testing.assert_allclose(result.to_dense(), a.to_dense() * 2.5)
+
+    def test_scalar_matrix_noncommutative(self):
+        a = _dense(3, 3, low=1.0, high=2.0, seed=4)
+        result = ops.binary("/", 1.0, a)
+        np.testing.assert_allclose(result.to_dense(), 1.0 / a.to_dense())
+
+    def test_scalar_scalar(self):
+        assert ops.binary("^", 2.0, 10.0) == 1024.0
+
+    def test_col_vector_broadcast(self):
+        a = _dense(5, 4, seed=6)
+        v = _dense(5, 1, seed=7)
+        result = ops.binary("+", a, v)
+        np.testing.assert_allclose(result.to_dense(), a.to_dense() + v.to_dense())
+
+    def test_row_vector_broadcast(self):
+        a = _dense(5, 4, seed=6)
+        v = _dense(1, 4, seed=7)
+        result = ops.binary("*", a, v)
+        np.testing.assert_allclose(result.to_dense(), a.to_dense() * v.to_dense())
+
+    def test_incompatible_shapes(self):
+        with pytest.raises(ShapeError):
+            ops.binary("+", _dense(3, 3), _dense(4, 4))
+
+    def test_sparse_sparse_multiply_stays_sparse(self):
+        a, b = _sparse(40, 40, 0.1, 1), _sparse(40, 40, 0.1, 2)
+        result = ops.binary("*", a, b)
+        assert result.is_sparse
+        np.testing.assert_allclose(
+            result.to_dense(), a.to_dense() * b.to_dense()
+        )
+
+    def test_sparse_scalar_multiply_stays_sparse(self):
+        a = _sparse(40, 40, 0.05, 5)
+        result = ops.binary("*", a, 3.0)
+        assert result.is_sparse
+        np.testing.assert_allclose(result.to_dense(), a.to_dense() * 3.0)
+
+    def test_sparse_scalar_add_densifies(self):
+        a = _sparse(10, 10, 0.1, 5)
+        result = ops.binary("+", a, 1.0)
+        np.testing.assert_allclose(result.to_dense(), a.to_dense() + 1.0)
+
+    def test_sparse_vector_scaling(self):
+        a = _sparse(30, 20, 0.1, 8)
+        v = _dense(30, 1, low=0.5, high=1.5, seed=9)
+        result = ops.binary("*", a, v)
+        np.testing.assert_allclose(result.to_dense(), a.to_dense() * v.to_dense())
+
+    @pytest.mark.parametrize("op", ["==", "!=", "<", ">", "<=", ">=", "&", "|"])
+    def test_comparisons_return_indicators(self, op):
+        a, b = _dense(4, 4, seed=1), _dense(4, 4, seed=2)
+        result = ops.binary(op, a, b).to_dense()
+        assert set(np.unique(result)) <= {0.0, 1.0}
+
+
+class TestTernary:
+    def test_plus_mult(self):
+        a, b, c = (_dense(3, 3, seed=i) for i in range(3))
+        result = ops.ternary("+*", a, b, c)
+        np.testing.assert_allclose(
+            result.to_dense(), a.to_dense() + b.to_dense() * c.to_dense()
+        )
+
+    def test_minus_mult(self):
+        a, b, c = (_dense(3, 3, seed=i) for i in range(3))
+        result = ops.ternary("-*", a, b, c)
+        np.testing.assert_allclose(
+            result.to_dense(), a.to_dense() - b.to_dense() * c.to_dense()
+        )
+
+    def test_ifelse(self):
+        cond = MatrixBlock(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        a = MatrixBlock(np.full((2, 2), 5.0))
+        b = MatrixBlock(np.full((2, 2), 9.0))
+        result = ops.ternary("ifelse", cond, a, b)
+        np.testing.assert_array_equal(
+            result.to_dense(), [[5.0, 9.0], [9.0, 5.0]]
+        )
+
+    def test_ifelse_scalar_branches(self):
+        cond = MatrixBlock(np.array([[1.0, 0.0]]))
+        result = ops.ternary("ifelse", cond, 1.0, -1.0)
+        np.testing.assert_array_equal(result.to_dense(), [[1.0, -1.0]])
+
+
+class TestAggregation:
+    @pytest.mark.parametrize("direction,axis", [("full", None), ("row", 1), ("col", 0)])
+    @pytest.mark.parametrize("op", ["sum", "min", "max", "mean"])
+    def test_dense(self, op, direction, axis):
+        x = _dense(6, 5, seed=10)
+        ref = getattr(np, op if op != "sumsq" else "sum")(x.to_dense(), axis=axis)
+        result = ops.agg_unary(op, x, direction)
+        if direction == "full":
+            assert np.isclose(result, ref)
+        else:
+            np.testing.assert_allclose(result.to_dense().ravel(), np.ravel(ref))
+
+    def test_sumsq(self):
+        x = _dense(4, 4, seed=11)
+        assert np.isclose(ops.agg_unary("sumsq", x), np.sum(x.to_dense() ** 2))
+
+    def test_sparse_sum(self):
+        x = _sparse(30, 30, 0.1, 12)
+        assert np.isclose(ops.agg_unary("sum", x), x.to_dense().sum())
+
+    def test_sparse_row_sums_shape(self):
+        x = _sparse(30, 20, 0.1, 13)
+        result = ops.agg_unary("sum", x, "row")
+        assert result.shape == (30, 1)
+        np.testing.assert_allclose(
+            result.to_dense().ravel(), x.to_dense().sum(axis=1)
+        )
+
+    def test_scalar_agg(self):
+        assert ops.agg_unary("sum", 3.0) == 3.0
+        assert ops.agg_unary("sumsq", 3.0) == 9.0
+
+
+class TestMatMult:
+    def test_dense_dense(self):
+        a, b = _dense(5, 4, seed=1), _dense(4, 3, seed=2)
+        np.testing.assert_allclose(
+            ops.matmult(a, b).to_dense(), a.to_dense() @ b.to_dense()
+        )
+
+    def test_sparse_dense(self):
+        a, b = _sparse(20, 15, 0.2, 3), _dense(15, 4, seed=4)
+        np.testing.assert_allclose(
+            ops.matmult(a, b).to_dense(), a.to_dense() @ b.to_dense()
+        )
+
+    def test_dense_sparse(self):
+        a, b = _dense(6, 20, seed=5), _sparse(20, 10, 0.2, 6)
+        np.testing.assert_allclose(
+            ops.matmult(a, b).to_dense(), a.to_dense() @ b.to_dense()
+        )
+
+    def test_sparse_sparse(self):
+        a, b = _sparse(20, 20, 0.2, 7), _sparse(20, 20, 0.2, 8)
+        np.testing.assert_allclose(
+            ops.matmult(a, b).to_dense(), a.to_dense() @ b.to_dense()
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.matmult(_dense(3, 4), _dense(3, 4))
+
+
+class TestReorgIndexing:
+    def test_transpose_dense(self):
+        a = _dense(4, 7, seed=9)
+        np.testing.assert_array_equal(ops.transpose(a).to_dense(), a.to_dense().T)
+
+    def test_transpose_sparse(self):
+        a = _sparse(20, 10, 0.2, 10)
+        result = ops.transpose(a)
+        assert result.is_sparse
+        np.testing.assert_allclose(result.to_dense(), a.to_dense().T)
+
+    def test_rix(self):
+        a = _dense(8, 8, seed=11)
+        result = ops.rix(a, 2, 5, 1, 4)
+        np.testing.assert_array_equal(result.to_dense(), a.to_dense()[2:5, 1:4])
+
+    def test_rix_bounds(self):
+        with pytest.raises(ShapeError):
+            ops.rix(_dense(3, 3), 0, 5, 0, 2)
+
+    def test_cbind_rbind(self):
+        a, b = _dense(3, 2, seed=1), _dense(3, 3, seed=2)
+        assert ops.cbind(a, b).shape == (3, 5)
+        c, d = _dense(2, 4, seed=3), _dense(3, 4, seed=4)
+        assert ops.rbind(c, d).shape == (5, 4)
+        with pytest.raises(ShapeError):
+            ops.cbind(a, _dense(4, 1))
+
+
+# ----------------------------------------------------------------------
+# Property-based: kernels agree with NumPy on random dense and sparse
+# inputs for randomly drawn operations.
+# ----------------------------------------------------------------------
+_BINARY = ["+", "-", "*", "min", "max", "==", "!=", "<", ">"]
+
+
+@given(
+    op=st.sampled_from(_BINARY),
+    rows=st.integers(1, 12),
+    cols=st.integers(1, 12),
+    sparse_a=st.booleans(),
+    sparse_b=st.booleans(),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=120, deadline=None)
+def test_binary_property(op, rows, cols, sparse_a, sparse_b, seed):
+    rng = np.random.default_rng(seed)
+    arr_a = rng.uniform(-2, 2, (rows, cols)) * (rng.random((rows, cols)) > 0.4)
+    arr_b = rng.uniform(-2, 2, (rows, cols)) * (rng.random((rows, cols)) > 0.4)
+    a = MatrixBlock(arr_a)
+    b = MatrixBlock(arr_b)
+    if sparse_a:
+        a = MatrixBlock(a.to_csr())
+    if sparse_b:
+        b = MatrixBlock(b.to_csr())
+    ref = {
+        "+": np.add, "-": np.subtract, "*": np.multiply,
+        "min": np.minimum, "max": np.maximum,
+        "==": lambda x, y: (x == y) * 1.0, "!=": lambda x, y: (x != y) * 1.0,
+        "<": lambda x, y: (x < y) * 1.0, ">": lambda x, y: (x > y) * 1.0,
+    }[op](arr_a, arr_b)
+    result = ops.binary(op, a, b)
+    np.testing.assert_allclose(result.to_dense(), ref, atol=1e-12)
+
+
+@given(
+    rows=st.integers(1, 10),
+    inner=st.integers(1, 10),
+    cols=st.integers(1, 10),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_matmult_property(rows, inner, cols, seed):
+    rng = np.random.default_rng(seed)
+    arr_a = rng.uniform(-1, 1, (rows, inner)) * (rng.random((rows, inner)) > 0.3)
+    arr_b = rng.uniform(-1, 1, (inner, cols)) * (rng.random((inner, cols)) > 0.3)
+    for a_sparse in (False, True):
+        for b_sparse in (False, True):
+            a = MatrixBlock(arr_a.copy())
+            b = MatrixBlock(arr_b.copy())
+            if a_sparse:
+                a = MatrixBlock(a.to_csr())
+            if b_sparse:
+                b = MatrixBlock(b.to_csr())
+            result = ops.matmult(a, b)
+            np.testing.assert_allclose(result.to_dense(), arr_a @ arr_b, atol=1e-12)

@@ -1,0 +1,151 @@
+"""Side-input access and skeleton edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.runtime.matrix import MatrixBlock
+from repro.runtime.sideinput import SideInput
+from tests.conftest import make_engine
+
+
+class TestSideInput:
+    def test_row_tile_dense(self, rng):
+        block = MatrixBlock(rng.random((10, 4)))
+        side = SideInput(block)
+        np.testing.assert_array_equal(side.row_tile(2, 5), block.to_dense()[2:5])
+
+    def test_row_tile_sparse(self):
+        block = MatrixBlock.rand(20, 6, sparsity=0.2, seed=1)
+        side = SideInput(block)
+        np.testing.assert_allclose(side.row_tile(3, 9), block.to_dense()[3:9])
+
+    def test_row_vector_shared_across_tiles(self, rng):
+        block = MatrixBlock(rng.random((1, 6)))
+        side = SideInput(block)
+        np.testing.assert_array_equal(side.row_tile(0, 3), block.to_dense())
+        np.testing.assert_array_equal(side.row_tile(3, 9), block.to_dense())
+
+    def test_gather_full_matrix(self, rng):
+        arr = rng.random((8, 8))
+        side = SideInput(MatrixBlock(arr))
+        rows = np.array([0, 3, 7])
+        cols = np.array([1, 5, 2])
+        np.testing.assert_array_equal(side.gather(rows, cols), arr[rows, cols])
+
+    def test_gather_broadcasts_vectors(self, rng):
+        col = rng.random((8, 1))
+        row = rng.random((1, 8))
+        rows = np.array([0, 3, 7])
+        cols = np.array([1, 5, 2])
+        np.testing.assert_array_equal(
+            SideInput(MatrixBlock(col)).gather(rows, cols), col[rows, 0]
+        )
+        np.testing.assert_array_equal(
+            SideInput(MatrixBlock(row)).gather(rows, cols), row[0, cols]
+        )
+
+    def test_gather_scalar_block(self):
+        side = SideInput(MatrixBlock(np.array([[4.5]])))
+        out = side.gather(np.array([0, 0]), np.array([0, 0]))
+        np.testing.assert_array_equal(out, [4.5, 4.5])
+
+    def test_gather_row(self, rng):
+        arr = rng.random((6, 9))
+        side = SideInput(MatrixBlock(arr))
+        cols = np.array([2, 4, 8])
+        np.testing.assert_array_equal(side.gather_row(3, cols), arr[3, cols])
+
+    def test_gather_row_sparse(self):
+        block = MatrixBlock.rand(6, 9, sparsity=0.3, seed=2)
+        side = SideInput(block)
+        cols = np.array([0, 4, 8])
+        np.testing.assert_allclose(
+            side.gather_row(2, cols), block.to_dense()[2, cols]
+        )
+
+
+class TestSkeletonEdgeCases:
+    """Generated operators over shapes that stress the skeletons."""
+
+    def test_single_row_matrix(self, rng):
+        xd = rng.random((1, 50))
+        yd = rng.random((1, 50))
+
+        def build():
+            return [(api.matrix(xd, "X") * api.matrix(yd, "Y")).sum()]
+
+        base = api.eval_all(build(), engine=make_engine("base"))[0]
+        gen = api.eval_all(build(), engine=make_engine("gen"))[0]
+        assert gen == pytest.approx(base)
+
+    def test_single_column_aggregation(self, rng):
+        xd = rng.random((500, 2))
+
+        def build():
+            x = api.matrix(xd, "X")
+            return [(x * 2.0).col_sums()]
+
+        base = api.eval_all(build(), engine=make_engine("base"))[0]
+        gen = api.eval_all(build(), engine=make_engine("gen"))[0]
+        np.testing.assert_allclose(gen.to_dense(), base.to_dense())
+
+    def test_tall_skinny_row_template(self, rng):
+        xd = rng.random((10_000, 3))
+        vd = rng.random((3, 1))
+
+        def build():
+            x = api.matrix(xd, "X")
+            return [x.T @ (x @ api.matrix(vd, "v"))]
+
+        base = api.eval_all(build(), engine=make_engine("base"))[0]
+        gen = api.eval_all(build(), engine=make_engine("gen"))[0]
+        np.testing.assert_allclose(gen.to_dense(), base.to_dense(), rtol=1e-9)
+
+    def test_empty_sparse_rows(self):
+        """Rows without non-zeros must not break the sparse paths."""
+        import scipy.sparse as sp
+
+        arr = np.zeros((50, 20))
+        arr[5, 3] = 2.0
+        arr[30, 7] = -1.0
+        block = MatrixBlock(sp.csr_matrix(arr))
+
+        def build():
+            x = api.matrix(block, "S")
+            return [(x * x).sum(), (x * 3.0).row_sums()]
+
+        base = api.eval_all(build(), engine=make_engine("base"))
+        gen = api.eval_all(build(), engine=make_engine("gen"))
+        assert gen[0] == pytest.approx(base[0])
+        np.testing.assert_allclose(gen[1].to_dense(), base[1].to_dense())
+
+    def test_all_zero_sparse_driver_outer(self, rng):
+        block = MatrixBlock.zeros(100, 80, sparse=True)
+        u = rng.random((100, 4))
+        v = rng.random((80, 4))
+
+        def build():
+            s = api.matrix(block, "S")
+            return [
+                (s * api.log(api.matrix(u, "U") @ api.matrix(v, "V").T + 1e-15)).sum()
+            ]
+
+        gen = api.eval_all(build(), engine=make_engine("gen"))[0]
+        assert gen == 0.0
+
+    def test_outer_left_matmult(self, rng):
+        """t(O) %*% W via the Outer template's left-mm variant."""
+        s_block = MatrixBlock.rand(200, 150, sparsity=0.05, seed=9)
+        u = rng.random((200, 5))
+        v = rng.random((150, 5))
+
+        def build():
+            s = api.matrix(s_block, "S")
+            um, vm = api.matrix(u, "U"), api.matrix(v, "V")
+            guarded = (s != 0.0) * (um @ vm.T)
+            return [guarded.T @ um]
+
+        base = api.eval_all(build(), engine=make_engine("base"))[0]
+        gen = api.eval_all(build(), engine=make_engine("gen"))[0]
+        np.testing.assert_allclose(gen.to_dense(), base.to_dense(), rtol=1e-8)

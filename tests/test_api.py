@@ -1,0 +1,134 @@
+"""Lazy expression API tests."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import CompileError, ShapeError
+from repro.runtime.matrix import MatrixBlock
+from tests.conftest import make_engine
+
+
+class TestConstruction:
+    def test_matrix_from_array(self, rng):
+        m = api.matrix(rng.random((4, 3)), "X")
+        assert m.shape == (4, 3)
+
+    def test_matrix_from_block(self):
+        block = MatrixBlock.rand(5, 5, seed=1)
+        m = api.matrix(block)
+        assert m.hop.data is block
+
+    def test_scalar(self):
+        s = api.scalar(3.5)
+        assert s.is_scalar
+
+    def test_rand(self):
+        m = api.rand(6, 4, sparsity=0.5, seed=2)
+        assert m.shape == (6, 4)
+
+    def test_invalid_operand(self):
+        x = api.matrix(np.ones((2, 2)))
+        with pytest.raises(CompileError):
+            x + "nope"
+
+
+class TestOperators:
+    def test_arithmetic_builds_dag(self, rng):
+        x = api.matrix(rng.random((4, 4)), "X")
+        expr = (2.0 * x + 1.0) / (x - 0.5)
+        assert expr.shape == (4, 4)
+
+    def test_reverse_operators(self, rng):
+        xd = rng.random((3, 3)) + 1.0
+        x = api.matrix(xd, "X")
+        result = api.eval(1.0 / x, engine=make_engine("base"))
+        np.testing.assert_allclose(result.to_dense(), 1.0 / xd)
+
+    def test_matmul_shape_check(self, rng):
+        a = api.matrix(rng.random((3, 4)))
+        b = api.matrix(rng.random((3, 4)))
+        with pytest.raises(ShapeError):
+            a @ b
+
+    def test_transpose(self, rng):
+        x = api.matrix(rng.random((3, 5)))
+        assert x.T.shape == (5, 3)
+
+    def test_indexing(self, rng):
+        x = api.matrix(rng.random((6, 6)))
+        assert x[1:4, 2:5].shape == (3, 3)
+        assert x[:, 0:2].shape == (6, 2)
+        assert x[2, :].shape == (1, 6)
+
+    def test_strided_indexing_rejected(self, rng):
+        x = api.matrix(rng.random((6, 6)))
+        with pytest.raises(CompileError):
+            x[::2, :]
+
+    def test_comparisons_are_expressions(self, rng):
+        x = api.matrix(rng.random((4, 4)))
+        expr = (x > 0.5) * (x <= 0.9)
+        assert isinstance(expr, api.Mat)
+
+    def test_aggregation_shapes(self, rng):
+        x = api.matrix(rng.random((4, 6)))
+        assert x.sum().is_scalar
+        assert x.row_sums().shape == (4, 1)
+        assert x.col_sums().shape == (1, 6)
+        assert x.row_mins().shape == (4, 1)
+        assert x.col_maxs().shape == (1, 6)
+
+
+class TestEvaluation:
+    def test_eval_scalar(self, rng):
+        xd = rng.random((5, 5))
+        result = api.eval(api.matrix(xd).sum(), engine=make_engine("base"))
+        assert result == pytest.approx(xd.sum())
+
+    def test_eval_all_shares_subexpressions(self, rng):
+        engine = make_engine("base")
+        xd = rng.random((10, 10))
+        x = api.matrix(xd, "X")
+        shared = x * 2.0
+        r1, r2 = api.eval_all([shared.sum(), (shared + 1.0).sum()], engine=engine)
+        assert r1 == pytest.approx((xd * 2).sum())
+        assert r2 == pytest.approx((xd * 2 + 1).sum())
+
+    def test_default_engine_is_base(self, rng):
+        xd = rng.random((4, 4))
+        assert api.eval(api.matrix(xd).sum()) == pytest.approx(xd.sum())
+
+    def test_unary_functions(self, rng):
+        xd = rng.random((4, 4)) + 0.5
+        x = api.matrix(xd)
+        for func, ref in [
+            (api.exp, np.exp),
+            (api.log, np.log),
+            (api.sqrt, np.sqrt),
+            (api.sigmoid, lambda a: 1 / (1 + np.exp(-a))),
+        ]:
+            result = api.eval(func(x), engine=make_engine("base"))
+            np.testing.assert_allclose(result.to_dense(), ref(xd))
+
+    def test_cbind_rbind(self, rng):
+        a = api.matrix(rng.random((3, 2)))
+        b = api.matrix(rng.random((3, 4)))
+        assert api.cbind(a, b).shape == (3, 6)
+        c = api.matrix(rng.random((5, 2)))
+        assert api.rbind(a, c).shape == (8, 2)
+
+    def test_minimum_maximum(self, rng):
+        xd, yd = rng.random((3, 3)), rng.random((3, 3))
+        result = api.eval(
+            api.minimum(api.matrix(xd), api.matrix(yd)), engine=make_engine("base")
+        )
+        np.testing.assert_allclose(result.to_dense(), np.minimum(xd, yd))
+
+    def test_compressed_input(self):
+        from repro.runtime.compressed import compress
+
+        arr = np.tile(np.arange(4.0), (100, 1))
+        comp = compress(MatrixBlock(arr))
+        result = api.eval(api.matrix(comp).sum(), engine=make_engine("base"))
+        assert result == pytest.approx(arr.sum())
