@@ -12,13 +12,15 @@ from __future__ import annotations
 
 import pytest
 
+from conftest import quick_trim
+
 from repro import api
 from repro.compiler.execution import Engine
 from repro.runtime.matrix import MatrixBlock
 
 ROWS = COLS = 2000
 RANK = 100
-SPARSITIES = [1.0, 0.1, 0.01, 0.001, 0.0001]
+SPARSITIES = quick_trim([1.0, 0.1, 0.01, 0.001, 0.0001])
 MODES = ["numpy", "base", "fused", "gen"]
 _CACHE: dict = {}
 

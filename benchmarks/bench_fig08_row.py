@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import pytest
 
+from conftest import quick_trim
+
 from repro import api
 from repro.compiler.execution import Engine
 from repro.runtime.matrix import MatrixBlock
 
 MODES = ["numpy", "base", "fused", "gen"]
-SIZES = [100_000, 1_000_000, 4_000_000]
+SIZES = quick_trim([100_000, 1_000_000, 4_000_000])
 _CACHE: dict = {}
 
 

@@ -9,8 +9,20 @@ scale by factors recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+#: Quick mode (``REPRO_BENCH_QUICK=1``): benchmarks trim their size /
+#: parameter grids to a single small configuration, so a CI smoke run
+#: finishes in seconds while exercising the full engine stack.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def quick_trim(values: list) -> list:
+    """First element only in quick mode; the full grid otherwise."""
+    return values[:1] if QUICK else values
 
 
 def pytest_configure(config):

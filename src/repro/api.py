@@ -6,16 +6,27 @@ DAG(s) to an execution engine (Base / Fused / Gen / heuristics).
 Evaluating several expressions together compiles them into one DAG with
 multiple roots, which is what exposes multi-aggregate fusion.
 
+Evaluation flows through the staged pipeline: the engine's compiler
+front half (rewrites → codegen → exec-type selection) optimizes the
+DAG, lowering turns it into a runtime ``Program`` of instructions, and
+the executor schedules it (in parallel where the DAG allows).
+
 Example::
 
     import numpy as np
     from repro import api
-    from repro.compiler.execution import Engine
+    from repro.compiler import Engine
 
     X = api.matrix(np.random.rand(1000, 100), name="X")
     v = api.matrix(np.random.rand(100, 1), name="v")
     expr = X.T @ (X @ v)
-    result = api.eval(expr, engine=Engine(mode="gen"))
+
+    engine = Engine(mode="gen")
+    result = api.eval(expr, engine=engine)
+
+    # The staged pipeline is inspectable: compile without executing.
+    program = engine.compile([expr.hop])
+    print(program.instructions)
 """
 
 from __future__ import annotations

@@ -8,12 +8,19 @@ summaries that EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 
 from repro import api
 from repro.compiler.execution import Engine
 from repro.config import CodegenConfig
+
+#: Environment variable: when set, benchmark scripts using the harness
+#: write their results (timings plus executor scheduling stats) to this
+#: JSON file via :func:`maybe_export_json`.
+BENCH_JSON_ENV = "REPRO_BENCH_JSON"
 
 
 @dataclass
@@ -22,6 +29,8 @@ class BenchResult:
 
     label: str
     seconds: dict[str, float] = field(default_factory=dict)
+    # Per-mode scheduling stats (RuntimeStats.scheduling_summary()).
+    stats: dict = field(default_factory=dict)
 
     def speedup(self, baseline: str, mode: str) -> float:
         return self.seconds[baseline] / max(self.seconds[mode], 1e-12)
@@ -29,6 +38,13 @@ class BenchResult:
     def row(self, modes: list[str]) -> str:
         cells = "  ".join(f"{self.seconds.get(m, float('nan'))*1e3:10.1f}" for m in modes)
         return f"{self.label:<28}{cells}"
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "seconds": dict(self.seconds),
+            "scheduling": dict(self.stats),
+        }
 
 
 def time_once(func) -> float:
@@ -44,11 +60,14 @@ def time_best(func, repeats: int = 3) -> float:
 
 
 def run_modes(build_exprs, modes: list[str], repeats: int = 3,
-              config_factory=None, warmup: bool = True) -> dict[str, float]:
+              config_factory=None, warmup: bool = True,
+              collect_stats: dict | None = None) -> dict[str, float]:
     """Time ``eval_all(build_exprs())`` under each engine mode.
 
     A fresh engine per mode; one warmup run compiles fused operators so
     measured runs hit the plan cache (the paper reports post-JIT means).
+    When ``collect_stats`` (a dict) is passed, it is filled with each
+    mode's executor scheduling summary after the timed runs.
     """
     results: dict[str, float] = {}
     for mode in modes:
@@ -61,6 +80,8 @@ def run_modes(build_exprs, modes: list[str], repeats: int = 3,
         if warmup:
             evaluate()
         results[mode] = time_best(evaluate, repeats)
+        if collect_stats is not None:
+            collect_stats[mode] = engine.stats.scheduling_summary()
     return results
 
 
@@ -71,3 +92,26 @@ def print_table(title: str, modes: list[str], results: list[BenchResult]) -> Non
     print(header)
     for result in results:
         print(result.row(modes))
+
+
+def export_json(path: str, title: str, results: list[BenchResult],
+                extra: dict | None = None) -> None:
+    """Write results (timings + scheduling stats) as a JSON report."""
+    payload = {
+        "title": title,
+        "results": [r.as_dict() for r in results],
+    }
+    if extra:
+        payload.update(extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def maybe_export_json(title: str, results: list[BenchResult],
+                      extra: dict | None = None) -> str | None:
+    """Export to ``$REPRO_BENCH_JSON`` if set; returns the path used."""
+    path = os.environ.get(BENCH_JSON_ENV)
+    if not path:
+        return None
+    export_json(path, title, results, extra)
+    return path

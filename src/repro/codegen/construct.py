@@ -108,33 +108,47 @@ class _Builder:
 
 
 def _cell_build(builder: _Builder, hop: Hop, row_count: int) -> CNode:
-    """Body construction for cell-aligned (element-wise) sub-DAGs."""
-    if hop.id in builder.cache:
-        return builder.cache[hop.id]
-    if isinstance(hop, LiteralOp):
-        node = CNode("lit", value=hop.value)
-        builder.cache[hop.id] = node
-        return node
-    if hop.id not in builder.covered_ids:
-        if hop.is_scalar:
-            node = builder.data(hop, Access.SCALAR)
-        elif hop.rows == row_count:
-            node = builder.data(hop, Access.SIDE_ROW)
+    """Body construction for cell-aligned (element-wise) sub-DAGs.
+
+    Iterative post-order: covered sub-DAGs can be arbitrarily deep
+    (long element-wise chains), so no recursion.
+    """
+    stack = [hop]
+    while stack:
+        node = stack[-1]
+        if node.id in builder.cache:
+            stack.pop()
+            continue
+        if isinstance(node, LiteralOp):
+            builder.cache[node.id] = CNode("lit", value=node.value)
+            stack.pop()
+            continue
+        if node.id not in builder.covered_ids:
+            if node.is_scalar:
+                cnode = builder.data(node, Access.SCALAR)
+            elif node.rows == row_count:
+                cnode = builder.data(node, Access.SIDE_ROW)
+            else:
+                cnode = builder.data(node, Access.SIDE_FULL)
+            builder.cache[node.id] = cnode
+            stack.pop()
+            continue
+        missing = [c for c in node.inputs if c.id not in builder.cache]
+        if missing:
+            stack.extend(reversed(missing))
+            continue
+        children = [builder.cache[c.id] for c in node.inputs]
+        if isinstance(node, UnaryOp):
+            cnode = CNode(f"u:{node.op}", children)
+        elif isinstance(node, BinaryOp):
+            cnode = CNode(f"b:{node.op}", children)
+        elif isinstance(node, TernaryOp):
+            cnode = CNode(f"t:{node.op}", children)
         else:
-            node = builder.data(hop, Access.SIDE_FULL)
-        builder.cache[hop.id] = node
-        return node
-    children = [_cell_build(builder, c, row_count) for c in hop.inputs]
-    if isinstance(hop, UnaryOp):
-        node = CNode(f"u:{hop.op}", children)
-    elif isinstance(hop, BinaryOp):
-        node = CNode(f"b:{hop.op}", children)
-    elif isinstance(hop, TernaryOp):
-        node = CNode(f"t:{hop.op}", children)
-    else:
-        raise CodegenError(f"unsupported cell body op {hop.opcode()}")
-    builder.cache[hop.id] = node
-    return node
+            raise CodegenError(f"unsupported cell body op {node.opcode()}")
+        builder.cache[node.id] = cnode
+        stack.pop()
+    return builder.cache[hop.id]
 
 
 # ----------------------------------------------------------------------
@@ -265,43 +279,69 @@ def _construct_row(plan: OperatorPlan, config):
     n_rows = row_dim(root)
     builder = _Builder(plan.inputs, covered_ids)
 
-    def build(hop: Hop) -> CNode:
-        if hop.id in builder.cache:
-            return builder.cache[hop.id]
-        if isinstance(hop, LiteralOp):
-            node = CNode("lit", value=hop.value)
-        elif hop.id not in builder.covered_ids:
-            if hop.is_scalar:
-                node = builder.data(hop, Access.SCALAR)
-            elif hop.is_matrix and hop.rows == n_rows:
-                node = builder.data(hop, Access.SIDE_ROW)
+    def build(root_hop: Hop) -> CNode:
+        # Iterative post-order (Row bodies host deep cellwise chains).
+        stack = [root_hop]
+        while stack:
+            hop = stack[-1]
+            if hop.id in builder.cache:
+                stack.pop()
+                continue
+            if isinstance(hop, LiteralOp):
+                builder.cache[hop.id] = CNode("lit", value=hop.value)
+                stack.pop()
+                continue
+            if hop.id not in builder.covered_ids:
+                if hop.is_scalar:
+                    node = builder.data(hop, Access.SCALAR)
+                elif hop.is_matrix and hop.rows == n_rows:
+                    node = builder.data(hop, Access.SIDE_ROW)
+                else:
+                    node = builder.data(hop, Access.SIDE_FULL)
+                builder.cache[hop.id] = node
+                stack.pop()
+                continue
+            if isinstance(hop, AggUnaryOp):
+                if hop.direction is not AggDir.ROW:
+                    raise CodegenError("non-row aggregation inside a Row body")
+                kids = [hop.inputs[0]]
+            elif isinstance(hop, AggBinaryOp):
+                left, right = hop.inputs
+                if isinstance(left, ReorgOp) and left.id in builder.covered_ids:
+                    raise CodegenError("t(Z) %*% Q only valid at the operator root")
+                if right.id in builder.covered_ids:
+                    raise CodegenError("matmult with fused right operand in Row body")
+                kids = [left]
+            elif isinstance(hop, IndexingOp):
+                kids = [hop.inputs[0]]
+            elif isinstance(hop, (UnaryOp, BinaryOp, TernaryOp)):
+                kids = list(hop.inputs)
             else:
-                node = builder.data(hop, Access.SIDE_FULL)
-        elif isinstance(hop, AggUnaryOp):
-            if hop.direction is not AggDir.ROW:
-                raise CodegenError("non-row aggregation inside a Row body")
-            node = CNode(f"rowagg:{_AGG_NAME[hop.agg_op]}", [build(hop.inputs[0])])
-        elif isinstance(hop, AggBinaryOp):
-            left, right = hop.inputs
-            if isinstance(left, ReorgOp) and left.id in builder.covered_ids:
-                raise CodegenError("t(Z) %*% Q only valid at the operator root")
-            lhs = build(left)
-            rhs = (
-                builder.data(right, Access.SIDE_FULL)
-                if right.id not in builder.covered_ids
-                else None
-            )
-            if rhs is None:
-                raise CodegenError("matmult with fused right operand in Row body")
-            node = CNode("mm", [lhs, rhs])
-        elif isinstance(hop, IndexingOp):
-            node = CNode("rix", [build(hop.inputs[0])], meta=(hop.cl, hop.cu))
-        elif isinstance(hop, (UnaryOp, BinaryOp, TernaryOp)):
-            node = _cell_like(hop, [build(c) for c in hop.inputs])
-        else:
-            raise CodegenError(f"unsupported Row body op {hop.opcode()}")
-        builder.cache[hop.id] = node
-        return node
+                raise CodegenError(f"unsupported Row body op {hop.opcode()}")
+            missing = [c for c in kids if c.id not in builder.cache]
+            if missing:
+                stack.extend(reversed(missing))
+                continue
+            if isinstance(hop, AggUnaryOp):
+                node = CNode(
+                    f"rowagg:{_AGG_NAME[hop.agg_op]}",
+                    [builder.cache[hop.inputs[0].id]],
+                )
+            elif isinstance(hop, AggBinaryOp):
+                left, right = hop.inputs
+                node = CNode(
+                    "mm",
+                    [builder.cache[left.id], builder.data(right, Access.SIDE_FULL)],
+                )
+            elif isinstance(hop, IndexingOp):
+                node = CNode(
+                    "rix", [builder.cache[hop.inputs[0].id]], meta=(hop.cl, hop.cu)
+                )
+            else:
+                node = _cell_like(hop, [builder.cache[c.id] for c in hop.inputs])
+            builder.cache[hop.id] = node
+            stack.pop()
+        return builder.cache[root_hop.id]
 
     agg_ops: list[str] = []
     if isinstance(root, AggUnaryOp) and root.direction in (AggDir.COL, AggDir.FULL):
@@ -410,26 +450,36 @@ def _construct_outer(plan: OperatorPlan, config):
         inputs.append(v_hop)
     builder = _Builder(inputs, covered_ids)
 
-    def build(hop: Hop) -> CNode:
-        if hop.id in builder.cache:
-            return builder.cache[hop.id]
-        if isinstance(hop, LiteralOp):
-            node = CNode("lit", value=hop.value)
-        elif hop is outer_mm:
-            node = CNode("uv")
-        elif hop.id not in builder.covered_ids:
-            if hop.is_scalar:
-                node = builder.data(hop, Access.SCALAR)
-            elif hop.dims == outer_mm.dims:
-                node = builder.data(hop, Access.SIDE_ROW)
+    def build(root_hop: Hop) -> CNode:
+        # Iterative post-order, mirroring the other template builders.
+        stack = [root_hop]
+        while stack:
+            hop = stack[-1]
+            if hop.id in builder.cache:
+                stack.pop()
+                continue
+            if isinstance(hop, LiteralOp):
+                node = CNode("lit", value=hop.value)
+            elif hop is outer_mm:
+                node = CNode("uv")
+            elif hop.id not in builder.covered_ids:
+                if hop.is_scalar:
+                    node = builder.data(hop, Access.SCALAR)
+                elif hop.dims == outer_mm.dims:
+                    node = builder.data(hop, Access.SIDE_ROW)
+                else:
+                    raise CodegenError("outer side input with foreign dims")
+            elif isinstance(hop, (UnaryOp, BinaryOp, TernaryOp)):
+                missing = [c for c in hop.inputs if c.id not in builder.cache]
+                if missing:
+                    stack.extend(reversed(missing))
+                    continue
+                node = _cell_like(hop, [builder.cache[c.id] for c in hop.inputs])
             else:
-                raise CodegenError("outer side input with foreign dims")
-        elif isinstance(hop, (UnaryOp, BinaryOp, TernaryOp)):
-            node = _cell_like(hop, [build(c) for c in hop.inputs])
-        else:
-            raise CodegenError(f"unsupported Outer body op {hop.opcode()}")
-        builder.cache[hop.id] = node
-        return node
+                raise CodegenError(f"unsupported Outer body op {hop.opcode()}")
+            builder.cache[hop.id] = node
+            stack.pop()
+        return builder.cache[root_hop.id]
 
     side_w_hop = None
     if isinstance(root, AggUnaryOp):
@@ -512,32 +562,56 @@ def eval_cnode(node: CNode, env: dict) -> float:
 
     ``env`` maps 'in<k>' to input values and 'uv' to the outer-product
     value; row-agg/matmult nodes are treated as their scalar analogue.
+    Evaluation is iterative and memoized per call (bodies can be
+    thousands of nodes deep).
     """
-    if node.op == "lit":
-        return node.value
-    if node.op == "data":
-        return env[f"in{node.input_index}"]
-    if node.op == "uv":
-        return env["uv"]
-    vals = [eval_cnode(c, env) for c in node.inputs]
-    kind, _, op = node.op.partition(":")
-    if kind == "u":
-        return _scalar_unary(op, vals[0])
-    if kind == "b":
-        return _scalar_binary(op, vals[0], vals[1])
-    if kind == "t":
-        if op == "+*":
-            return vals[0] + vals[1] * vals[2]
-        if op == "-*":
-            return vals[0] - vals[1] * vals[2]
-        return vals[1] if vals[0] != 0 else vals[2]
-    if kind in ("rowagg", "colagg", "fullagg"):
-        return vals[0]
-    if kind in ("mm", "touter"):
-        return vals[0] * vals[1]
-    if kind == "rix":
-        return vals[0]
-    raise CodegenError(f"cannot probe CNode op {node.op}")
+    memo: dict[int, float] = {}
+    stack = [node]
+    while stack:
+        cur = stack[-1]
+        if cur.id in memo:
+            stack.pop()
+            continue
+        if cur.op == "lit":
+            memo[cur.id] = cur.value
+            stack.pop()
+            continue
+        if cur.op == "data":
+            memo[cur.id] = env[f"in{cur.input_index}"]
+            stack.pop()
+            continue
+        if cur.op == "uv":
+            memo[cur.id] = env["uv"]
+            stack.pop()
+            continue
+        missing = [c for c in cur.inputs if c.id not in memo]
+        if missing:
+            stack.extend(reversed(missing))
+            continue
+        vals = [memo[c.id] for c in cur.inputs]
+        kind, _, op = cur.op.partition(":")
+        if kind == "u":
+            value = _scalar_unary(op, vals[0])
+        elif kind == "b":
+            value = _scalar_binary(op, vals[0], vals[1])
+        elif kind == "t":
+            if op == "+*":
+                value = vals[0] + vals[1] * vals[2]
+            elif op == "-*":
+                value = vals[0] - vals[1] * vals[2]
+            else:
+                value = vals[1] if vals[0] != 0 else vals[2]
+        elif kind in ("rowagg", "colagg", "fullagg"):
+            value = vals[0]
+        elif kind in ("mm", "touter"):
+            value = vals[0] * vals[1]
+        elif kind == "rix":
+            value = vals[0]
+        else:
+            raise CodegenError(f"cannot probe CNode op {cur.op}")
+        memo[cur.id] = value
+        stack.pop()
+    return memo[node.id]
 
 
 def _scalar_unary(op: str, x: float) -> float:

@@ -239,28 +239,37 @@ class CostEstimator:
         return count
 
     def _visit(self, hop: Hop, entry: MemoEntry, cv: CostVector, blocked) -> None:
-        if hop.id in cv.visited:
-            return
-        cv.visited.add(hop.id)
-        cv.covered.append(hop)
-        cv.entries[hop.id] = entry
-        cv.flops += self._flops(hop)
-        for idx, hop_in in enumerate(hop.inputs):
-            fused = False
-            if entry.refs[idx] != -1 and (hop.id, hop_in.id) not in blocked:
-                sub_entries = self.memo.compatible_entries(hop_in.id, entry.ttype)
-                sub_entries = [
-                    e for e in sub_entries if e.ttype is entry.ttype
-                ] or sub_entries
-                if sub_entries:
-                    sub = max(
-                        sub_entries,
-                        key=lambda e: self._usable_refs(hop_in, e, blocked),
+        # Iterative DFS preserving the recursive pre-order (fusion covers
+        # can be thousands of operators deep, e.g. long cellwise chains).
+        stack: list[tuple[Hop, MemoEntry]] = [(hop, entry)]
+        while stack:
+            node, node_entry = stack.pop()
+            if node.id in cv.visited:
+                continue
+            cv.visited.add(node.id)
+            cv.covered.append(node)
+            cv.entries[node.id] = node_entry
+            cv.flops += self._flops(node)
+            pending: list[tuple[Hop, MemoEntry]] = []
+            for idx, hop_in in enumerate(node.inputs):
+                fused = False
+                if node_entry.refs[idx] != -1 and (node.id, hop_in.id) not in blocked:
+                    sub_entries = self.memo.compatible_entries(
+                        hop_in.id, node_entry.ttype
                     )
-                    self._visit(hop_in, sub, cv, blocked)
-                    fused = True
-            if not fused and hop_in.kind is not OpKind.LITERAL:
-                cv.add_input(hop_in)
+                    sub_entries = [
+                        e for e in sub_entries if e.ttype is node_entry.ttype
+                    ] or sub_entries
+                    if sub_entries:
+                        sub = max(
+                            sub_entries,
+                            key=lambda e: self._usable_refs(hop_in, e, blocked),
+                        )
+                        pending.append((hop_in, sub))
+                        fused = True
+                if not fused and hop_in.kind is not OpKind.LITERAL:
+                    cv.add_input(hop_in)
+            stack.extend(reversed(pending))
 
     # ------------------------------------------------------------------
     # Time estimates

@@ -78,20 +78,47 @@ class CNode:
         self.meta = meta
 
     def signature(self, memo: dict[int, str]) -> str:
-        """Stable structural signature for hashing and CSE."""
+        """Stable structural signature for hashing and CSE.
+
+        First occurrence of a node expands in full; any later occurrence
+        is a back-reference ``@k`` where ``k`` numbers nodes in order of
+        completed expansion.  The traversal is iterative (body DAGs can
+        be thousands of nodes deep).
+        """
         if self.id in memo:
             return f"@{memo[self.id]}"
-        parts = [self.op]
-        if self.op == "data":
-            parts.append(str(self.input_index))
-        elif self.op == "lit":
-            parts.append(repr(self.value))
-        if self.meta:
-            parts.append(repr(self.meta))
-        parts.extend(i.signature(memo) for i in self.inputs)
-        sig = "(" + " ".join(parts) + ")"
-        memo[self.id] = str(len(memo))
-        return sig
+
+        def open_frame(node: "CNode") -> list:
+            parts = [node.op]
+            if node.op == "data":
+                parts.append(str(node.input_index))
+            elif node.op == "lit":
+                parts.append(repr(node.value))
+            if node.meta:
+                parts.append(repr(node.meta))
+            return [node, parts, iter(node.inputs)]
+
+        frames = [open_frame(self)]
+        completed: str | None = None
+        while frames:
+            node, parts, child_iter = frames[-1]
+            if completed is not None:
+                parts.append(completed)
+                completed = None
+            descended = False
+            for child in child_iter:
+                if child.id in memo:
+                    parts.append(f"@{memo[child.id]}")
+                    continue
+                frames.append(open_frame(child))
+                descended = True
+                break
+            if descended:
+                continue
+            memo[node.id] = str(len(memo))
+            completed = "(" + " ".join(parts) + ")"
+            frames.pop()
+        return completed
 
     def __repr__(self) -> str:
         return f"CNode[{self.op}]"

@@ -59,6 +59,16 @@ class CodegenOptimizer:
                 chosen.update(fuse_all(estimator, part))
             elif policy == "fnr":
                 chosen.update(fuse_no_redundancy(estimator, part))
+            elif (
+                not part.points
+                and len(part.members) >= self.config.large_partition_members
+            ):
+                # Degenerate giant partition (e.g. a multi-thousand-op
+                # cellwise chain) with nothing to enumerate: the cost
+                # descent would compute one O(|members|) cover per node
+                # (quadratic overall) and its depth-limited lookahead
+                # under-costs deep chains anyway.  Take maximal fusion.
+                chosen.update(fuse_all(estimator, part))
             else:
                 result = mpskip_enum(
                     estimator, part, self.config, memo, hop_by_id, self.stats

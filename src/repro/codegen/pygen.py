@@ -117,13 +117,28 @@ class _Emitter:
         return self.vars[node.id]
 
     def _emit(self, node: CNode) -> str:
-        if node.id in self.vars:
-            return self.vars[node.id]
-        var = self._emit_node(node)
-        self.vars[node.id] = var
-        return var
+        # Iterative post-order over the body DAG (which can be thousands
+        # of nodes deep for long fused chains).
+        stack = [node]
+        while stack:
+            cur = stack[-1]
+            if cur.id in self.vars:
+                stack.pop()
+                continue
+            if cur.op in ("lit", "data", "uv"):
+                self.vars[cur.id] = self._emit_node(cur)
+                stack.pop()
+                continue
+            missing = [c for c in cur.inputs if c.id not in self.vars]
+            if missing:
+                stack.extend(reversed(missing))
+                continue
+            self.vars[cur.id] = self._emit_node(cur)
+            stack.pop()
+        return self.vars[node.id]
 
     def _emit_node(self, node: CNode) -> str:
+        """Emit one node whose inputs are already in ``self.vars``."""
         op = node.op
         if op == "lit":
             return repr(node.value)
@@ -131,7 +146,7 @@ class _Emitter:
             return self._data_expr(node.input_index)
         if op == "uv":
             return "uv"
-        args = [self._emit(c) for c in node.inputs]
+        args = [self.vars[c.id] for c in node.inputs]
         kind, _, detail = op.partition(":")
         if kind == "u":
             func = UNARY_PRIMITIVES.get(detail)
@@ -213,14 +228,19 @@ class _Emitter:
         return False
 
     def _pure_cell(self, node: CNode) -> bool:
-        kind, _, detail = node.op.partition(":")
-        if node.op in ("data", "lit"):
-            return True
-        if kind == "u" and detail in _SCALAR_UNARY_EXPR:
-            return all(self._pure_cell(c) for c in node.inputs)
-        if kind == "b" and detail in _SCALAR_BINARY_FMT:
-            return all(self._pure_cell(c) for c in node.inputs)
-        return False
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur.op in ("data", "lit"):
+                continue
+            kind, _, detail = cur.op.partition(":")
+            if kind == "u" and detail in _SCALAR_UNARY_EXPR:
+                stack.extend(cur.inputs)
+            elif kind == "b" and detail in _SCALAR_BINARY_FMT:
+                stack.extend(cur.inputs)
+            else:
+                return False
+        return True
 
     def _emit_inline(self) -> tuple[list[str], list[str]]:
         root = self.cplan.roots[0]

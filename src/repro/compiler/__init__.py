@@ -1,5 +1,21 @@
-"""Compiler pipeline: engines, hand-coded fused operators, scripts."""
+"""Staged compiler: pipeline passes, Program lowering, engine façade."""
 
 from repro.compiler.execution import Engine
+from repro.compiler.pipeline import (
+    CompilationContext,
+    CompilerPass,
+    build_pipeline,
+    compile_program,
+)
+from repro.compiler.program import Instruction, Program, lower_program
 
-__all__ = ["Engine"]
+__all__ = [
+    "Engine",
+    "CompilationContext",
+    "CompilerPass",
+    "build_pipeline",
+    "compile_program",
+    "Instruction",
+    "Program",
+    "lower_program",
+]

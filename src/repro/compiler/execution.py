@@ -8,6 +8,19 @@
 * ``gen-fa``   — the fuse-all heuristic (Gen-FA),
 * ``gen-fnr``  — the fuse-no-redundancy heuristic (Gen-FNR).
 
+:class:`Engine` is a thin façade over the staged pipeline:
+
+1. the **compiler front half** (:mod:`repro.compiler.pipeline`) runs
+   rewrites → codegen optimization → exec-type selection as named
+   passes over a shared :class:`CompilationContext`,
+2. the **lowering layer** (:mod:`repro.compiler.program`) converts the
+   optimized multi-root HOP DAG into a ``Program`` of instructions with
+   explicit symbol-table slots and dependency edges (hand-coded fused
+   patterns lower at compile time — no runtime pattern recursion),
+3. the **runtime executor** (:mod:`repro.runtime.executor`) schedules
+   the program serially or over a thread pool by dependency readiness,
+   eagerly freeing dead intermediates.
+
 An engine owns a plan cache and runtime statistics; every ``execute``
 call plays the role of one statement-block compilation (including
 dynamic recompilation, since DAGs are rebuilt per iteration while
@@ -16,28 +29,19 @@ generated operators are reused through the plan cache).
 
 from __future__ import annotations
 
-from repro.codegen.optimizer import CodegenOptimizer
-from repro.codegen.plan_cache import PlanCache
+from repro.compiler.pipeline import (
+    MODE_POLICIES,
+    CompilationContext,
+    build_pipeline,
+    compile_program,
+)
 from repro.config import CodegenConfig, DEFAULT_CONFIG
 from repro.errors import RuntimeExecError
-from repro.hops import memory
-from repro.hops.hop import (
-    DataOp,
-    Hop,
-    LiteralOp,
-    SpoofOp,
-    SpoofOutOp,
-    collect_dag,
-    topological_order,
-)
-from repro.hops.rewrites import apply_rewrites
-from repro.hops.types import ExecType, OpKind
-from repro.runtime.distributed import SparkExecutor, _basic_kernel
-from repro.runtime.matrix import MatrixBlock
-from repro.runtime.skeletons import execute_operator
-from repro.runtime.stats import RuntimeStats
+from repro.hops.hop import Hop
+from repro.runtime.distributed import SparkExecutor
+from repro.runtime.executor import ProgramExecutor
 
-_MODES = ("base", "numpy", "fused", "gen", "gen-fa", "gen-fnr")
+_MODES = tuple(MODE_POLICIES)
 
 
 class Engine:
@@ -48,110 +52,40 @@ class Engine:
             raise RuntimeExecError(f"unknown engine mode '{mode}' (use {_MODES})")
         self.mode = mode
         self.config = config or DEFAULT_CONFIG.copy()
-        self.stats = RuntimeStats()
-        self.plan_cache = PlanCache(self.config.plan_cache_enabled)
-        self._optimizer = CodegenOptimizer(self.config, self.plan_cache, self.stats)
+        self.context = CompilationContext(mode, self.config)
+        self._pipeline = build_pipeline(mode)
         self._spark = (
             SparkExecutor(self.config.cluster, self.config, self.stats)
             if self.config.cluster is not None
             else None
         )
+        self.executor = ProgramExecutor(self.config, self.stats, self._spark)
+
+    # Backward-compatible views onto the shared compilation context.
+    @property
+    def stats(self):
+        return self.context.stats
+
+    @property
+    def plan_cache(self):
+        return self.context.plan_cache
 
     # ------------------------------------------------------------------
+    def compile(self, roots: list[Hop]):
+        """Run the compiler pipeline and lower to a runtime Program."""
+        return compile_program(roots, self.context, self._pipeline)
+
     def execute(self, roots: list[Hop]) -> list:
         """Compile and execute a multi-root DAG; returns root values."""
-        roots = apply_rewrites(roots, enable_cse=self.mode != "numpy")
-        self._select_exec_types(roots)
-        if self.mode in ("gen", "gen-fa", "gen-fnr"):
-            policy = {"gen": "cost", "gen-fa": "fa", "gen-fnr": "fnr"}[self.mode]
-            roots = self._optimizer.optimize(roots, policy=policy)
-            self._select_exec_types(roots)
-        values = self._interpret(roots)
-        return [values[r.id] for r in roots]
+        program = self.compile(roots)
+        return self.executor.run(program)
 
-    # ------------------------------------------------------------------
-    def _select_exec_types(self, roots: list[Hop]) -> None:
-        """Operator selection: local vs distributed by memory estimate."""
-        if self.config.cluster is None:
-            return
-        for hop in collect_dag(roots):
-            if hop.kind in (OpKind.DATA, OpKind.LITERAL):
-                hop.exec_type = ExecType.CP
-                continue
-            over_budget = memory.operation_bytes(hop) > self.config.local_mem_budget
-            hop.exec_type = ExecType.SPARK if over_budget else ExecType.CP
+    def close(self) -> None:
+        """Release the executor's thread pool (idempotent)."""
+        self.executor.close()
 
-    # ------------------------------------------------------------------
-    def _interpret(self, roots: list[Hop]) -> dict[int, object]:
-        values: dict[int, object] = {}
-        order = topological_order(roots)
-        dag_ids = {h.id for h in order}
-        fused_mode = self.mode == "fused"
+    def __enter__(self) -> "Engine":
+        return self
 
-        # In fused mode, match hand-coded patterns lazily: evaluation is
-        # demand-driven so intermediates covered by a fused operator are
-        # never materialized unless another consumer needs them.
-        if fused_mode:
-            return self._interpret_fused(roots)
-
-        for hop in order:
-            values[hop.id] = self._eval_hop(hop, [values[i.id] for i in hop.inputs])
-        return values
-
-    def _interpret_fused(self, roots: list[Hop]) -> dict[int, object]:
-        from repro.compiler.fused_lib import match_fused
-
-        values: dict[int, object] = {}
-
-        def eval_hop(hop: Hop):
-            if hop.id in values:
-                return values[hop.id]
-            result = match_fused(hop, eval_hop)
-            if result is None:
-                inputs = [eval_hop(i) for i in hop.inputs]
-                result = self._eval_hop(hop, inputs)
-            else:
-                self.stats.record_spoof("Fused")
-                self._record_output(result)
-            values[hop.id] = result
-            return result
-
-        # Iterative deepening to keep recursion bounded on long chains.
-        import sys
-
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, 10000))
-        try:
-            for root in roots:
-                eval_hop(root)
-        finally:
-            sys.setrecursionlimit(old_limit)
-        return values
-
-    # ------------------------------------------------------------------
-    def _eval_hop(self, hop: Hop, inputs: list) -> object:
-        if isinstance(hop, DataOp):
-            return hop.data
-        if isinstance(hop, LiteralOp):
-            return hop.value
-        if isinstance(hop, SpoofOutOp):
-            block = inputs[0]
-            return float(block.get(hop.index, 0))
-        if isinstance(hop, SpoofOp):
-            if self._spark is not None and hop.exec_type is ExecType.SPARK:
-                result = self._spark.execute_spoof(hop, inputs)
-            else:
-                result = execute_operator(hop.operator, inputs, self.config, self.stats)
-            self._record_output(result)
-            return result
-        if self._spark is not None and hop.exec_type is ExecType.SPARK:
-            result = self._spark.execute_hop(hop, inputs)
-        else:
-            result = _basic_kernel(hop, inputs)
-        self._record_output(result)
-        return result
-
-    def _record_output(self, result) -> None:
-        self.stats.n_intermediates += 1
-        if isinstance(result, MatrixBlock):
-            self.stats.bytes_written += result.size_bytes
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -3,8 +3,7 @@
 SystemML's default configuration replaces fixed patterns of few
 operators with hand-written fused implementations [7, 13, 37].  This
 module reproduces the representative set the paper's experiments rely
-on; each matcher inspects a HOP sub-DAG top-down and, on success,
-computes the result directly from the pattern's leaf inputs:
+on:
 
 * ``mmchain``    — t(X) %*% (X %*% v) and t(X) %*% (w * (X %*% v)),
   matrix-*vector* chains only (the Figure 8(g) limitation),
@@ -15,9 +14,19 @@ computes the result directly from the pattern's leaf inputs:
 * ``wsloss``     — sum(W * (X - U %*% t(V))^2), sparsity-exploiting,
 * ``wdivmm``     — ((W) * (U %*% t(V))) %*% V and the left variant,
   sparsity-exploiting (the ALS update-rule kernels).
+
+Matching is split from execution: :func:`match_fused_pattern` inspects
+a HOP sub-DAG top-down and, on success, returns a :class:`FusedMatch`
+naming the pattern, the leaf hops it reads, and a ``compute`` callable
+over the leaves' runtime values.  The compiler lowers matches into
+``fused`` instructions at compile time, so pattern matching never
+recurses at runtime.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -34,6 +43,21 @@ from repro.hops.types import AggDir, AggOp
 from repro.runtime.matrix import MatrixBlock
 
 
+@dataclass
+class FusedMatch:
+    """A matched hand-coded pattern rooted at one hop.
+
+    ``leaves`` are the hops the fused implementation reads; ``compute``
+    consumes their runtime values (in leaf order) and returns the value
+    of the pattern root.  Intermediates covered by the pattern are never
+    materialized unless another consumer demands them separately.
+    """
+
+    name: str
+    leaves: list[Hop]
+    compute: Callable[[list], object]
+
+
 def _is_t(hop: Hop) -> bool:
     return isinstance(hop, ReorgOp) and hop.op == "t"
 
@@ -46,25 +70,20 @@ def _is_full_sum(hop: Hop) -> bool:
     )
 
 
-def match_fused(hop: Hop, eval_fn):
-    """Try all hand-coded patterns at ``hop``.
-
-    ``eval_fn(h)`` evaluates a HOP to a runtime value (recursively via
-    the interpreter, so shared intermediates stay shared).  Returns the
-    computed value, or None if no pattern applies.
-    """
+def match_fused_pattern(hop: Hop) -> FusedMatch | None:
+    """Try all hand-coded patterns at ``hop`` (structural match only)."""
     for matcher in (_match_mmchain, _match_sum_fused, _match_wcemm,
                     _match_wsloss, _match_wdivmm, _match_axpy):
-        result = matcher(hop, eval_fn)
-        if result is not None:
-            return result
+        match = matcher(hop)
+        if match is not None:
+            return match
     return None
 
 
 # ----------------------------------------------------------------------
 # mmchain: t(X) %*% (X %*% v)   |   t(X) %*% (w * (X %*% v))
 # ----------------------------------------------------------------------
-def _match_mmchain(hop: Hop, eval_fn):
+def _match_mmchain(hop: Hop) -> FusedMatch | None:
     if not (isinstance(hop, AggBinaryOp) and _is_t(hop.inputs[0])):
         return None
     x_hop = hop.inputs[0].inputs[0]
@@ -86,67 +105,76 @@ def _match_mmchain(hop: Hop, eval_fn):
     v_hop = right.inputs[1]
     if not v_hop.is_col_vector:  # matrix-vector chains only
         return None
-    x_val = eval_fn(x_hop)
-    v_val = eval_fn(v_hop)
-    # Single pass over X: q = X v (row-wise), result += X_i^T q_i.
-    if x_val.is_sparse:
-        csr = x_val.to_csr()
-        q = csr @ v_val.to_dense()
-        if w_hop is not None:
-            q = q * eval_fn(w_hop).to_dense()
-        out = csr.T @ q
-        return MatrixBlock(np.asarray(out))
-    arr = x_val.to_dense()
-    q = arr @ v_val.to_dense()
-    if w_hop is not None:
-        q = q * eval_fn(w_hop).to_dense()
-    return MatrixBlock(arr.T @ q)
+    leaves = [x_hop, v_hop] + ([w_hop] if w_hop is not None else [])
+
+    def compute(values: list):
+        x_val, v_val = values[0], values[1]
+        w_val = values[2] if len(values) > 2 else None
+        # Single pass over X: q = X v (row-wise), result += X_i^T q_i.
+        if x_val.is_sparse:
+            csr = x_val.to_csr()
+            q = csr @ v_val.to_dense()
+            if w_val is not None:
+                q = q * w_val.to_dense()
+            return MatrixBlock(np.asarray(csr.T @ q))
+        arr = x_val.to_dense()
+        q = arr @ v_val.to_dense()
+        if w_val is not None:
+            q = q * w_val.to_dense()
+        return MatrixBlock(arr.T @ q)
+
+    return FusedMatch("mmchain", leaves, compute)
 
 
 # ----------------------------------------------------------------------
 # sum(X^2), sum(X*Y)
 # ----------------------------------------------------------------------
-def _match_sum_fused(hop: Hop, eval_fn):
+def _match_sum_fused(hop: Hop) -> FusedMatch | None:
     if not _is_full_sum(hop):
         return None
     inner = hop.inputs[0]
     if hop.agg_op is AggOp.SUM_SQ:
-        x_val = eval_fn(inner)
-        return _sumsq_value(x_val)
+        return FusedMatch("sumsq", [inner], lambda vs: _sumsq_value(vs[0]))
     if isinstance(inner, UnaryOp) and inner.op == "pow2":
-        return _sumsq_value(eval_fn(inner.inputs[0]))
+        return FusedMatch(
+            "sumsq", [inner.inputs[0]], lambda vs: _sumsq_value(vs[0])
+        )
     if isinstance(inner, BinaryOp) and inner.op == "^":
         exp = inner.inputs[1]
         if isinstance(exp, LiteralOp) and exp.value == 2.0:
-            return _sumsq_value(eval_fn(inner.inputs[0]))
+            return FusedMatch(
+                "sumsq", [inner.inputs[0]], lambda vs: _sumsq_value(vs[0])
+            )
     if isinstance(inner, BinaryOp) and inner.op == "*":
         lhs, rhs = inner.inputs
         if lhs is rhs and lhs.is_matrix:
-            return _sumsq_value(eval_fn(lhs))
+            return FusedMatch("sumsq", [lhs], lambda vs: _sumsq_value(vs[0]))
         if lhs.is_matrix and rhs.is_matrix and lhs.dims == rhs.dims:
-            from repro.runtime.compressed import CompressedMatrix
-
-            a, b = eval_fn(lhs), eval_fn(rhs)
-            if isinstance(a, CompressedMatrix):
-                a = a.decompress()
-            if isinstance(b, CompressedMatrix):
-                b = b.decompress()
-            if a.is_sparse and not b.is_sparse:
-                csr = a.to_csr()
-                rows = np.repeat(np.arange(csr.shape[0]), np.diff(csr.indptr))
-                return float(np.dot(csr.data, b.to_dense()[rows, csr.indices]))
-            if a.is_sparse and b.is_sparse:
-                return float(a.to_csr().multiply(b.to_csr()).sum())
-            if b.is_sparse:
-                return _match_none_swap(a, b)
-            return float(np.dot(a.to_dense().ravel(), b.to_dense().ravel()))
+            return FusedMatch("sumprod", [lhs, rhs], _sumprod_value)
     return None
 
 
-def _match_none_swap(a, b):
-    csr = b.to_csr()
+def _sumprod_value(values: list):
+    from repro.runtime.compressed import CompressedMatrix
+
+    a, b = values
+    if isinstance(a, CompressedMatrix):
+        a = a.decompress()
+    if isinstance(b, CompressedMatrix):
+        b = b.decompress()
+    if a.is_sparse and not b.is_sparse:
+        return _sumprod_sparse_dense(a, b)
+    if a.is_sparse and b.is_sparse:
+        return float(a.to_csr().multiply(b.to_csr()).sum())
+    if b.is_sparse:
+        return _sumprod_sparse_dense(b, a)
+    return float(np.dot(a.to_dense().ravel(), b.to_dense().ravel()))
+
+
+def _sumprod_sparse_dense(sparse_val, dense_val):
+    csr = sparse_val.to_csr()
     rows = np.repeat(np.arange(csr.shape[0]), np.diff(csr.indptr))
-    return float(np.dot(csr.data, a.to_dense()[rows, csr.indices]))
+    return float(np.dot(csr.data, dense_val.to_dense()[rows, csr.indices]))
 
 
 def _sumsq_value(x_val):
@@ -164,7 +192,7 @@ def _sumsq_value(x_val):
 # ----------------------------------------------------------------------
 # wcemm: sum(X * log(U %*% t(V) + eps))
 # ----------------------------------------------------------------------
-def _match_wcemm(hop: Hop, eval_fn):
+def _match_wcemm(hop: Hop) -> FusedMatch | None:
     if not (_is_full_sum(hop) and hop.agg_op is AggOp.SUM):
         return None
     inner = hop.inputs[0]
@@ -187,10 +215,12 @@ def _match_wcemm(hop: Hop, eval_fn):
         if uv is None:
             continue
         u_hop, v_hop = uv
-        x_val = eval_fn(x_hop)
-        u_arr = eval_fn(u_hop).to_dense()
-        v_arr = eval_fn(v_hop).to_dense()
-        return _wce_sum(x_val, u_arr, v_arr, eps)
+
+        def compute(values: list, eps=eps):
+            x_val, u_val, v_val = values
+            return _wce_sum(x_val, u_val.to_dense(), v_val.to_dense(), eps)
+
+        return FusedMatch("wcemm", [x_hop, u_hop, v_hop], compute)
     return None
 
 
@@ -226,7 +256,7 @@ def _wce_sum(x_val, u_arr, v_arr, eps):
 # ----------------------------------------------------------------------
 # wsloss: sum(W * (X - U %*% t(V))^2)
 # ----------------------------------------------------------------------
-def _match_wsloss(hop: Hop, eval_fn):
+def _match_wsloss(hop: Hop) -> FusedMatch | None:
     if not (_is_full_sum(hop) and hop.agg_op is AggOp.SUM):
         return None
     inner = hop.inputs[0]
@@ -246,34 +276,39 @@ def _match_wsloss(hop: Hop, eval_fn):
         if uv is None:
             continue
         u_hop, v_hop = uv
-        w_val = eval_fn(w_hop)
-        x_val = eval_fn(x_hop)
-        u_arr = eval_fn(u_hop).to_dense()
-        v_arr = eval_fn(v_hop).to_dense()
-        if not w_val.is_sparse:
-            pred = u_arr @ v_arr.T
-            diff = x_val.to_dense() - pred
-            return float(np.sum(w_val.to_dense() * diff * diff))
-        csr = w_val.to_csr()
-        x_csr = x_val.to_csr()
-        total = 0.0
-        for i in range(csr.shape[0]):
-            lo, hi = csr.indptr[i], csr.indptr[i + 1]
-            if hi == lo:
-                continue
-            cols = csr.indices[lo:hi]
-            pred = v_arr[cols] @ u_arr[i]
-            x_row = np.asarray(x_csr[i, cols].todense()).ravel()
-            diff = x_row - pred
-            total += float(np.dot(csr.data[lo:hi], diff * diff))
-        return total
+        return FusedMatch(
+            "wsloss", [w_hop, x_hop, u_hop, v_hop], _wsloss_value
+        )
     return None
+
+
+def _wsloss_value(values: list):
+    w_val, x_val, u_val, v_val = values
+    u_arr = u_val.to_dense()
+    v_arr = v_val.to_dense()
+    if not w_val.is_sparse:
+        pred = u_arr @ v_arr.T
+        diff = x_val.to_dense() - pred
+        return float(np.sum(w_val.to_dense() * diff * diff))
+    csr = w_val.to_csr()
+    x_csr = x_val.to_csr()
+    total = 0.0
+    for i in range(csr.shape[0]):
+        lo, hi = csr.indptr[i], csr.indptr[i + 1]
+        if hi == lo:
+            continue
+        cols = csr.indices[lo:hi]
+        pred = v_arr[cols] @ u_arr[i]
+        x_row = np.asarray(x_csr[i, cols].todense()).ravel()
+        diff = x_row - pred
+        total += float(np.dot(csr.data[lo:hi], diff * diff))
+    return total
 
 
 # ----------------------------------------------------------------------
 # wdivmm: ((W) * (U %*% t(V))) %*% V   |   t((W)*(U %*% t(V))) %*% U
 # ----------------------------------------------------------------------
-def _match_wdivmm(hop: Hop, eval_fn):
+def _match_wdivmm(hop: Hop) -> FusedMatch | None:
     if not isinstance(hop, AggBinaryOp):
         return None
     left, right_factor = hop.inputs
@@ -293,10 +328,14 @@ def _match_wdivmm(hop: Hop, eval_fn):
             continue
         if transposed and right_factor is not u_hop:
             continue
-        w_val = eval_fn(w_hop)
-        u_arr = eval_fn(u_hop).to_dense()
-        v_arr = eval_fn(v_hop).to_dense()
-        return _wdivmm(w_val, u_arr, v_arr, transposed)
+
+        def compute(values: list, transposed=transposed):
+            w_val, u_val, v_val = values
+            return _wdivmm(
+                w_val, u_val.to_dense(), v_val.to_dense(), transposed
+            )
+
+        return FusedMatch("wdivmm", [w_hop, u_hop, v_hop], compute)
     return None
 
 
@@ -330,7 +369,7 @@ def _wdivmm(w_val, u_arr, v_arr, transposed: bool):
 # ----------------------------------------------------------------------
 # axpy: X + s*Y / X - s*Y
 # ----------------------------------------------------------------------
-def _match_axpy(hop: Hop, eval_fn):
+def _match_axpy(hop: Hop) -> FusedMatch | None:
     if not (isinstance(hop, BinaryOp) and hop.op in ("+", "-")):
         return None
     lhs, rhs = hop.inputs
@@ -340,14 +379,16 @@ def _match_axpy(hop: Hop, eval_fn):
     y_hop = next((h for h in rhs.inputs if h.is_matrix), None)
     if s_hop is None or y_hop is None or y_hop.dims != lhs.dims:
         return None
-    x_val = eval_fn(lhs)
-    y_val = eval_fn(y_hop)
-    s_val = eval_fn(s_hop)
-    s_val = s_val if isinstance(s_val, float) else s_val.as_scalar()
     sign = 1.0 if hop.op == "+" else -1.0
-    if x_val.is_sparse and y_val.is_sparse:
-        out = x_val.to_csr() + (sign * s_val) * y_val.to_csr()
-        return MatrixBlock(out).examine_representation()
-    return MatrixBlock(
-        x_val.to_dense() + sign * s_val * y_val.to_dense()
-    ).examine_representation()
+
+    def compute(values: list, sign=sign):
+        x_val, y_val, s_val = values
+        s_val = s_val if isinstance(s_val, float) else s_val.as_scalar()
+        if x_val.is_sparse and y_val.is_sparse:
+            out = x_val.to_csr() + (sign * s_val) * y_val.to_csr()
+            return MatrixBlock(out).examine_representation()
+        return MatrixBlock(
+            x_val.to_dense() + sign * s_val * y_val.to_dense()
+        ).examine_representation()
+
+    return FusedMatch("axpy", [lhs, y_hop, s_hop], compute)

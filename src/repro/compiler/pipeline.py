@@ -1,0 +1,150 @@
+"""The staged compiler pipeline (front half of the engine).
+
+Mirrors the paper's compilation chain (Section 2.1): rewrites and CSE,
+codegen plan optimization, then operator (exec-type) selection — each a
+named, independently testable pass over a shared
+:class:`CompilationContext`.  The pipeline ends with lowering the
+optimized HOP DAG into a runtime :class:`~repro.compiler.program.Program`
+(:func:`compile_program`), which the executor schedules.
+
+Pass order notes:
+
+* Codegen runs *before* exec-type selection: the optimizer's cost model
+  reasons about cluster placement analytically (it never reads
+  ``hop.exec_type``), and selection must see the spliced ``SpoofOp``s
+  to type them.  Selection therefore runs exactly once per compile —
+  ``RuntimeStats.n_exec_type_selections`` asserts this.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.codegen.optimizer import CodegenOptimizer
+from repro.codegen.plan_cache import PlanCache
+from repro.config import CodegenConfig
+from repro.hops import memory
+from repro.hops.hop import Hop, collect_dag
+from repro.hops.rewrites import apply_rewrites
+from repro.hops.types import ExecType, OpKind
+from repro.runtime.stats import RuntimeStats
+
+#: Engine modes and the codegen policy (None = no codegen pass).
+MODE_POLICIES = {
+    "base": None,
+    "numpy": None,
+    "fused": None,
+    "gen": "cost",
+    "gen-fa": "fa",
+    "gen-fnr": "fnr",
+}
+
+
+class CompilationContext:
+    """Shared state threaded through all compiler passes.
+
+    Owns the long-lived pieces — config, plan cache, stats, and the
+    codegen optimizer — so iterative workloads (one ``execute`` per
+    loop iteration) reuse compiled operators across compilations.
+    """
+
+    def __init__(self, mode: str, config: CodegenConfig,
+                 plan_cache: PlanCache | None = None,
+                 stats: RuntimeStats | None = None):
+        self.mode = mode
+        self.config = config
+        self.stats = stats or RuntimeStats()
+        self.plan_cache = plan_cache or PlanCache(config.plan_cache_enabled)
+        self.optimizer = CodegenOptimizer(config, self.plan_cache, self.stats)
+
+
+class CompilerPass:
+    """One named transformation of a multi-root HOP DAG."""
+
+    name = "pass"
+
+    def run(self, roots: list[Hop], ctx: CompilationContext) -> list[Hop]:
+        raise NotImplementedError
+
+
+class RewritePass(CompilerPass):
+    """Static simplification rewrites plus CSE (disabled for ``numpy``,
+    the no-sharing eager-library reference configuration)."""
+
+    name = "rewrites"
+
+    def run(self, roots: list[Hop], ctx: CompilationContext) -> list[Hop]:
+        return apply_rewrites(roots, enable_cse=ctx.mode != "numpy")
+
+
+class CodegenPass(CompilerPass):
+    """Codegen plan optimization: explore, select, compile, splice."""
+
+    name = "codegen"
+
+    def __init__(self, policy: str):
+        self.policy = policy
+
+    def run(self, roots: list[Hop], ctx: CompilationContext) -> list[Hop]:
+        return ctx.optimizer.optimize(roots, policy=self.policy)
+
+
+class ExecTypeSelectionPass(CompilerPass):
+    """Operator selection: local (CP) vs distributed (SPARK) placement
+    by memory estimate.  Runs once per compile, after codegen, so the
+    spliced fused operators are typed as well."""
+
+    name = "exec-type-selection"
+
+    def run(self, roots: list[Hop], ctx: CompilationContext) -> list[Hop]:
+        ctx.stats.n_exec_type_selections += 1
+        if ctx.config.cluster is None:
+            return roots
+        budget = ctx.config.local_mem_budget
+        for hop in collect_dag(roots):
+            if hop.kind in (OpKind.DATA, OpKind.LITERAL):
+                hop.exec_type = ExecType.CP
+                continue
+            over_budget = memory.operation_bytes(hop) > budget
+            hop.exec_type = ExecType.SPARK if over_budget else ExecType.CP
+        return roots
+
+
+def build_pipeline(mode: str) -> list[CompilerPass]:
+    """The pass sequence for one engine mode."""
+    policy = MODE_POLICIES[mode]
+    passes: list[CompilerPass] = [RewritePass()]
+    if policy is not None:
+        passes.append(CodegenPass(policy))
+    passes.append(ExecTypeSelectionPass())
+    return passes
+
+
+def run_passes(roots: list[Hop], passes: list[CompilerPass],
+               ctx: CompilationContext) -> list[Hop]:
+    """Run the passes in order, recording per-pass wall-clock."""
+    for compiler_pass in passes:
+        start = time.perf_counter()
+        roots = compiler_pass.run(roots, ctx)
+        elapsed = time.perf_counter() - start
+        seconds = ctx.stats.pipeline_pass_seconds
+        seconds[compiler_pass.name] = seconds.get(compiler_pass.name, 0.0) + elapsed
+    return roots
+
+
+def compile_program(roots: list[Hop], ctx: CompilationContext,
+                    passes: list[CompilerPass] | None = None):
+    """Front half + lowering: HOP roots to a runtime ``Program``."""
+    from repro.compiler.program import lower_program
+
+    if passes is None:
+        passes = build_pipeline(ctx.mode)
+    roots = run_passes(roots, passes, ctx)
+    start = time.perf_counter()
+    program = lower_program(roots, ctx.mode)
+    elapsed = time.perf_counter() - start
+    seconds = ctx.stats.pipeline_pass_seconds
+    seconds["lowering"] = seconds.get("lowering", 0.0) + elapsed
+    ctx.stats.n_programs_compiled += 1
+    ctx.stats.n_instructions_lowered += program.n_instructions
+    return program

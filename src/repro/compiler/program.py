@@ -1,0 +1,203 @@
+"""Lowering: optimized HOP DAGs to a schedulable runtime ``Program``.
+
+The compiler front half (:mod:`repro.compiler.pipeline`) produces an
+optimized multi-root HOP DAG; this module lowers it into a flat
+:class:`Program` of :class:`Instruction` objects over an explicit
+symbol table:
+
+* every hop value lives in a numbered symbol-table *slot*,
+* ``DataOp``/``LiteralOp`` leaves become preloaded constant slots (no
+  instruction is scheduled for them),
+* every other hop becomes one instruction naming its input slots and
+  output slot, plus explicit dependency edges to the producing
+  instructions,
+* in ``fused`` mode, hand-coded pattern matching happens *here*, at
+  compile time: a matched pattern lowers into a single ``fused``
+  instruction reading the pattern's leaf slots (this is what removed
+  the old demand-driven interpreter and its recursion-limit hack).
+
+The resulting program is what the runtime executor
+(:mod:`repro.runtime.executor`) schedules — serially or over a thread
+pool by dependency readiness — with reference counts per slot enabling
+eager freeing of dead intermediates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hops.hop import DataOp, Hop, LiteralOp, SpoofOp, SpoofOutOp
+
+
+@dataclass
+class Instruction:
+    """One lowered operation over symbol-table slots.
+
+    ``opcode`` is one of:
+
+    * ``hop``       — a basic operator dispatched to the kernel library
+                      (or the distributed backend, per ``hop.exec_type``),
+    * ``spoof``     — a generated fused operator (``hop.operator``),
+    * ``spoof_out`` — scalar extraction from a multi-aggregate output,
+    * ``fused``     — a hand-coded fused pattern (``fused_match``).
+    """
+
+    index: int
+    opcode: str
+    hop: Hop
+    input_slots: list[int]
+    output_slot: int
+    fused_match: object = None  # FusedMatch for opcode == "fused"
+    # Dependency edges (instruction indices), derived from input slots.
+    dep_indices: tuple = ()
+    dependent_indices: tuple = ()
+    # Largest matrix (cells) this instruction touches; the executor's
+    # parallel/serial heuristic keys off it.
+    weight: int = 0
+
+    def __repr__(self) -> str:
+        ins = ",".join(map(str, self.input_slots))
+        return (
+            f"[{self.index}] {self.opcode}({self.hop.opcode()}) "
+            f"r{ins} -> w{self.output_slot}"
+        )
+
+
+@dataclass
+class Program:
+    """A lowered multi-root DAG ready for scheduling.
+
+    ``instructions`` are in a valid topological order, so serial
+    execution is a flat loop.  ``consumer_counts[slot]`` is the number
+    of instruction reads of that slot; ``pinned`` slots (constants and
+    root outputs) are never freed.
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    n_slots: int = 0
+    constants: list = field(default_factory=list)  # (slot, value)
+    root_slots: list[int] = field(default_factory=list)
+    consumer_counts: list[int] = field(default_factory=list)
+    pinned: set = field(default_factory=set)
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.instructions)
+
+    def max_width(self) -> int:
+        """Upper bound on schedulable concurrency (levelized width)."""
+        level: dict[int, int] = {}
+        width: dict[int, int] = {}
+        for instr in self.instructions:
+            lvl = 1 + max(
+                (level[d] for d in instr.dep_indices), default=-1
+            )
+            level[instr.index] = lvl
+            width[lvl] = width.get(lvl, 0) + 1
+        return max(width.values(), default=0)
+
+    def finalize(self) -> None:
+        """Derive dependency edges and per-slot reference counts."""
+        producer: dict[int, int] = {}
+        for instr in self.instructions:
+            producer[instr.output_slot] = instr.index
+        self.consumer_counts = [0] * self.n_slots
+        dependents: list[list[int]] = [[] for _ in self.instructions]
+        for instr in self.instructions:
+            deps = []
+            seen = set()
+            for slot in instr.input_slots:
+                self.consumer_counts[slot] += 1
+                dep = producer.get(slot)
+                if dep is not None and dep not in seen:
+                    seen.add(dep)
+                    deps.append(dep)
+            instr.dep_indices = tuple(deps)
+            for dep in deps:
+                dependents[dep].append(instr.index)
+        for instr in self.instructions:
+            instr.dependent_indices = tuple(dependents[instr.index])
+        self.pinned = {slot for slot, _ in self.constants}
+        self.pinned.update(self.root_slots)
+
+
+def lower_program(roots: list[Hop], mode: str) -> Program:
+    """Lower an optimized multi-root HOP DAG into a :class:`Program`.
+
+    The walk is demand-driven from the roots and fully iterative, so
+    arbitrarily deep DAGs lower without recursion.  In ``fused`` mode
+    hand-coded patterns are matched per demanded hop; intermediates
+    covered by a pattern are lowered only if another consumer demands
+    them separately (matching the old lazy interpreter's semantics).
+    """
+    from repro.compiler.fused_lib import match_fused_pattern
+
+    use_fused = mode == "fused"
+    program = Program()
+    slot_of: dict[int, int] = {}
+    plans: dict[int, tuple] = {}  # hop.id -> (match, dep hops)
+
+    def assign_slot(hop: Hop) -> int:
+        slot = program.n_slots
+        program.n_slots += 1
+        slot_of[hop.id] = slot
+        return slot
+
+    def emit(hop: Hop, match, deps: list[Hop]) -> None:
+        if isinstance(hop, DataOp):
+            program.constants.append((assign_slot(hop), hop.data))
+            return
+        if isinstance(hop, LiteralOp):
+            program.constants.append((assign_slot(hop), hop.value))
+            return
+        input_slots = [slot_of[d.id] for d in deps]
+        if match is not None:
+            opcode = "fused"
+        elif isinstance(hop, SpoofOutOp):
+            opcode = "spoof_out"
+        elif isinstance(hop, SpoofOp):
+            opcode = "spoof"
+        else:
+            opcode = "hop"
+        weight = hop.cells
+        for dep in deps:
+            weight = max(weight, dep.cells)
+        program.instructions.append(
+            Instruction(
+                index=len(program.instructions),
+                opcode=opcode,
+                hop=hop,
+                input_slots=input_slots,
+                output_slot=assign_slot(hop),
+                fused_match=match,
+                weight=weight,
+            )
+        )
+
+    stack: list[Hop] = list(reversed(roots))
+    while stack:
+        hop = stack[-1]
+        if hop.id in slot_of:
+            stack.pop()
+            continue
+        if isinstance(hop, (DataOp, LiteralOp)):
+            emit(hop, None, [])
+            stack.pop()
+            continue
+        plan = plans.get(hop.id)
+        if plan is None:
+            match = match_fused_pattern(hop) if use_fused else None
+            deps = match.leaves if match is not None else hop.inputs
+            plan = (match, deps)
+            plans[hop.id] = plan
+        match, deps = plan
+        missing = [d for d in deps if d.id not in slot_of]
+        if missing:
+            stack.extend(reversed(missing))
+            continue
+        emit(hop, match, deps)
+        stack.pop()
+
+    program.root_slots = [slot_of[r.id] for r in roots]
+    program.finalize()
+    return program

@@ -63,9 +63,28 @@ class CodegenConfig:
 
     # Candidate selection.
     max_enum_plans: int = 1 << 22  # safety cap per partition
+    # Partitions at least this large with zero interesting points skip
+    # the per-node cost descent (quadratic in partition size, and its
+    # depth-limited lookahead systematically underestimates deep chains)
+    # and take the maximal-fusion cover directly.  Far above any DAG the
+    # experiments produce; only pathological programs (e.g. thousands of
+    # chained cellwise ops) hit it.
+    large_partition_members: int = 512
     enable_cost_pruning: bool = True
     enable_structural_pruning: bool = True
     enable_partitioning: bool = True
+
+    # Runtime executor: 'parallel' schedules lowered Program instructions
+    # over a thread pool by dependency readiness (independent DAG
+    # branches run concurrently; NumPy kernels release the GIL);
+    # 'serial' interprets instructions in topological order.
+    executor_mode: str = "parallel"
+    # Worker threads (0 = min(8, cpu_count)).  With one thread the
+    # executor always falls back to serial interpretation.
+    executor_threads: int = 0
+    # Programs whose instructions all touch fewer cells than this run
+    # serially: thread-pool dispatch overhead dominates tiny operators.
+    parallel_min_cells: int = 1 << 16
 
     # Code generation backend: 'exec' is the fast in-memory compiler
     # (janino analogue); 'file' writes sources to disk and imports them

@@ -129,6 +129,16 @@ class SparkExecutor:
     # ------------------------------------------------------------------
     # Operator execution
     # ------------------------------------------------------------------
+    def execute_instruction(self, instr, input_values: list) -> object:
+        """Dispatch one lowered Program instruction to the cluster.
+
+        The runtime executor hands SPARK-typed instructions here; basic
+        hops and generated operators take different cost paths.
+        """
+        if instr.opcode == "spoof":
+            return self.execute_spoof(instr.hop, input_values)
+        return self.execute_hop(instr.hop, input_values)
+
     def execute_hop(self, hop: Hop, input_values: list) -> object:
         """Execute one basic HOP distributed: partition the largest
         matrix input row-wise, broadcast the others, reassemble."""

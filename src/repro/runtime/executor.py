@@ -1,0 +1,272 @@
+"""Runtime executor: schedules lowered ``Program`` instructions.
+
+Two scheduling modes over the same instruction semantics:
+
+* **serial** — a flat loop over the (topologically ordered)
+  instruction list,
+* **parallel** — a dependency-readiness scheduler over a thread pool:
+  an instruction is submitted once all its producers completed, so
+  independent DAG branches (e.g. the per-root chains of a multi-root
+  ``eval_all``) run concurrently.  NumPy kernels release the GIL, so
+  this overlaps real compute on multicore hosts.
+
+Both modes maintain per-slot reference counts and eagerly free
+intermediates once their last consumer ran (roots and constants are
+pinned), cutting peak memory for long programs.  Scheduling counters
+(tasks launched, peak concurrency, early frees) land in
+:class:`~repro.runtime.stats.RuntimeStats`.
+
+The simulated Spark backend mutates shared cost-model state, so
+programs carrying a cluster config always run serially; distributed
+instructions dispatch per-instruction via
+``SparkExecutor.execute_instruction``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.config import CodegenConfig
+from repro.errors import RuntimeExecError
+from repro.hops.types import ExecType
+from repro.runtime.matrix import MatrixBlock
+from repro.runtime.stats import RuntimeStats
+
+
+def _record_output(stats: RuntimeStats, result) -> None:
+    stats.n_intermediates += 1
+    if isinstance(result, MatrixBlock):
+        stats.bytes_written += result.size_bytes
+
+
+def execute_instruction(instr, inputs: list, config: CodegenConfig,
+                        stats: RuntimeStats, spark=None):
+    """Execute one lowered instruction on runtime values."""
+    from repro.runtime.distributed import _basic_kernel
+    from repro.runtime.skeletons import execute_operator
+
+    hop = instr.hop
+    if instr.opcode == "fused":
+        result = instr.fused_match.compute(inputs)
+        stats.record_spoof("Fused")
+        _record_output(stats, result)
+        return result
+    if instr.opcode == "spoof_out":
+        return float(inputs[0].get(hop.index, 0))
+    if instr.opcode == "spoof":
+        if spark is not None and hop.exec_type is ExecType.SPARK:
+            result = spark.execute_instruction(instr, inputs)
+        else:
+            result = execute_operator(hop.operator, inputs, config, stats)
+        _record_output(stats, result)
+        return result
+    if spark is not None and hop.exec_type is ExecType.SPARK:
+        result = spark.execute_instruction(instr, inputs)
+    else:
+        result = _basic_kernel(hop, inputs)
+    _record_output(stats, result)
+    return result
+
+
+class ProgramExecutor:
+    """Executes programs serially or over a shared thread pool."""
+
+    def __init__(self, config: CodegenConfig, stats: RuntimeStats,
+                 spark=None):
+        self.config = config
+        self.stats = stats
+        self.spark = spark
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_threads(self) -> int:
+        if self.config.executor_threads > 0:
+            return self.config.executor_threads
+        return min(8, os.cpu_count() or 1)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_threads,
+                thread_name_prefix="repro-exec",
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def run(self, program) -> list:
+        """Execute a program; returns the root slot values."""
+        values: list = [None] * program.n_slots
+        for slot, value in program.constants:
+            values[slot] = value
+        if self._should_parallelize(program):
+            self._run_parallel(program, values)
+        else:
+            self._run_serial(program, values)
+        return [values[slot] for slot in program.root_slots]
+
+    def _should_parallelize(self, program) -> bool:
+        if self.config.executor_mode != "parallel":
+            return False
+        if self.spark is not None:
+            # The simulated distributed backend mutates shared cache /
+            # cost state; keep its accounting deterministic.
+            return False
+        if self.n_threads < 2:
+            return False
+        heavy = sum(
+            1 for instr in program.instructions
+            if instr.weight >= self.config.parallel_min_cells
+        )
+        if heavy < 2:
+            return False
+        # A purely sequential chain of heavy ops gains nothing from the
+        # pool and pays per-instruction dispatch overhead.
+        return program.max_width() >= 2
+
+    # ------------------------------------------------------------------
+    def _free_dead_inputs(self, instr, values, counts, pinned) -> int:
+        """Decrement input refcounts; free slots with no consumers left."""
+        freed = 0
+        for slot in instr.input_slots:
+            counts[slot] -= 1
+            if counts[slot] == 0 and slot not in pinned:
+                values[slot] = None
+                freed += 1
+        return freed
+
+    def _run_serial(self, program, values: list) -> None:
+        stats = self.stats
+        counts = list(program.consumer_counts)
+        pinned = program.pinned
+        for instr in program.instructions:
+            inputs = [values[slot] for slot in instr.input_slots]
+            values[instr.output_slot] = execute_instruction(
+                instr, inputs, self.config, stats, self.spark
+            )
+            stats.n_freed_early += self._free_dead_inputs(
+                instr, values, counts, pinned
+            )
+        stats.n_instructions_executed += program.n_instructions
+        stats.n_serial_runs += 1
+        if program.n_instructions:
+            stats.executor_max_concurrency = max(
+                stats.executor_max_concurrency, 1
+            )
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, program, values: list) -> None:
+        pool = self._ensure_pool()
+        instructions = program.instructions
+        counts = list(program.consumer_counts)
+        pinned = program.pinned
+
+        lock = self._lock
+        done = threading.Event()
+        state = {
+            "pending": {
+                i.index: len(i.dep_indices) for i in instructions
+            },
+            "remaining": len(instructions),
+            "running": 0,
+            "max_running": 0,
+            "launched": 0,
+            "freed": 0,
+            "error": None,
+        }
+
+        def worker(instr):
+            # Per-task stats keep kernel-level recording race-free; they
+            # merge into the engine stats under the scheduler lock.
+            local_stats = RuntimeStats()
+            with lock:
+                state["running"] += 1
+                state["max_running"] = max(
+                    state["max_running"], state["running"]
+                )
+            try:
+                inputs = [values[slot] for slot in instr.input_slots]
+                result = execute_instruction(
+                    instr, inputs, self.config, local_stats, self.spark
+                )
+            except BaseException as exc:  # propagate to the caller
+                with lock:
+                    if state["error"] is None:
+                        state["error"] = exc
+                    state["remaining"] -= 1
+                    state["running"] -= 1
+                    if state["remaining"] == 0 or state["error"] is not None:
+                        done.set()
+                return
+            ready = []
+            with lock:
+                values[instr.output_slot] = result
+                state["freed"] += self._free_dead_inputs(
+                    instr, values, counts, pinned
+                )
+                self.stats.merge(local_stats)
+                for dep_index in instr.dependent_indices:
+                    state["pending"][dep_index] -= 1
+                    if state["pending"][dep_index] == 0:
+                        ready.append(instructions[dep_index])
+                state["remaining"] -= 1
+                state["running"] -= 1
+                if state["error"] is None:
+                    for nxt in ready:
+                        _submit(nxt)
+                if state["remaining"] == 0:
+                    done.set()
+
+        def _submit(instr) -> None:
+            # Caller holds the lock; `running` is tracked by the worker
+            # itself so peak concurrency reflects tasks actually on a
+            # thread, not queued submissions.
+            state["launched"] += 1
+            pool.submit(worker, instr)
+
+        initial = [i for i in instructions if not i.dep_indices]
+        if not instructions:
+            return
+        with lock:
+            for instr in initial:
+                _submit(instr)
+        done.wait()
+        # Drain: on error some workers may still be running; they only
+        # touch `values` under the lock, and we re-raise afterwards.
+        if state["error"] is not None:
+            raise state["error"]
+        stats = self.stats
+        stats.n_instructions_executed += len(instructions)
+        stats.n_parallel_tasks += state["launched"]
+        stats.executor_max_concurrency = max(
+            stats.executor_max_concurrency, state["max_running"]
+        )
+        stats.n_freed_early += state["freed"]
+        stats.n_parallel_runs += 1
+
+
+def run_program(program, config: CodegenConfig,
+                stats: RuntimeStats | None = None, spark=None) -> list:
+    """One-shot convenience: execute ``program`` and return root values."""
+    executor = ProgramExecutor(config, stats or RuntimeStats(), spark)
+    try:
+        return executor.run(program)
+    finally:
+        executor.close()
+
+
+__all__ = [
+    "ProgramExecutor",
+    "execute_instruction",
+    "run_program",
+    "RuntimeExecError",
+]

@@ -39,8 +39,33 @@ class RuntimeStats:
     n_plans_skipped: float = 0.0
     n_partitions: int = 0
 
+    # Compilation pipeline (staged compiler).
+    n_programs_compiled: int = 0
+    n_exec_type_selections: int = 0
+    n_instructions_lowered: int = 0
+    pipeline_pass_seconds: dict = field(default_factory=dict)
+
+    # Runtime executor scheduling.
+    n_instructions_executed: int = 0
+    n_parallel_tasks: int = 0  # instructions dispatched to the thread pool
+    executor_max_concurrency: int = 0  # peak simultaneously running tasks
+    n_freed_early: int = 0  # intermediates freed before end of program
+    n_serial_runs: int = 0
+    n_parallel_runs: int = 0
+
     # Fused-operator executions by template name.
     spoof_executions: dict = field(default_factory=dict)
+
+    def scheduling_summary(self) -> dict:
+        """Executor scheduling counters (bench harness JSON output)."""
+        return {
+            "n_instructions_executed": self.n_instructions_executed,
+            "n_parallel_tasks": self.n_parallel_tasks,
+            "executor_max_concurrency": self.executor_max_concurrency,
+            "n_freed_early": self.n_freed_early,
+            "n_serial_runs": self.n_serial_runs,
+            "n_parallel_runs": self.n_parallel_runs,
+        }
 
     def record_spoof(self, template_name: str) -> None:
         """Count one execution of a generated operator."""
@@ -59,5 +84,8 @@ class RuntimeStats:
                 mine = getattr(self, key)
                 for name, count in value.items():
                     mine[name] = mine.get(name, 0) + count
+            elif key == "executor_max_concurrency":
+                # Peak values combine via max, not addition.
+                setattr(self, key, max(getattr(self, key), value))
             else:
                 setattr(self, key, getattr(self, key) + value)

@@ -1,0 +1,76 @@
+"""Deep-chain regression: compile-time lowering needs no recursion.
+
+The old demand-driven fused interpreter raised ``sys.setrecursionlimit``
+to survive long elementwise chains; compile-time lowering of fused
+patterns (and the iterative codegen walkers) made that hack obsolete.
+These tests build a ~5k-operator chain — far beyond any Python
+recursion limit — and require every layer (rewrites, exploration,
+costing, CPlan construction, code generation, lowering, execution) to
+handle it with the interpreter's default limit untouched.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro import api
+from tests.conftest import make_engine
+
+CHAIN_OPS = 5000
+ROWS, COLS = 40, 15
+
+
+def _deep_chain():
+    rng = np.random.default_rng(21)
+    x = api.matrix(rng.random((ROWS, COLS)), "X")
+    e = x
+    for i in range(CHAIN_OPS // 2):
+        e = e * 1.0001 + 0.0001
+    return e.sum()
+
+
+def _reference():
+    arr = np.random.default_rng(21).random((ROWS, COLS))
+    for _ in range(CHAIN_OPS // 2):
+        arr = arr * 1.0001 + 0.0001
+    return float(arr.sum())
+
+
+class TestDeepChain:
+    @pytest.mark.parametrize("mode", ["fused", "gen"])
+    def test_deep_chain_compiles_and_runs(self, mode):
+        limit = sys.getrecursionlimit()
+        engine = make_engine(mode)
+        result = api.eval(_deep_chain(), engine=engine)
+        assert result == pytest.approx(_reference(), rel=1e-9)
+        # The old workaround mutated the limit; lowering must not.
+        assert sys.getrecursionlimit() == limit
+
+    def test_gen_fuses_chain_into_one_operator(self):
+        engine = make_engine("gen")
+        result = api.eval(_deep_chain(), engine=engine)
+        assert result == pytest.approx(_reference(), rel=1e-9)
+        # The whole chain collapses into a single Cell operator; the
+        # program is a handful of instructions, not thousands.
+        assert engine.stats.spoof_executions.get("Cell") == 1
+        assert engine.stats.n_instructions_lowered < 10
+
+    def test_base_matches_reference(self):
+        engine = make_engine("base")
+        result = api.eval(_deep_chain(), engine=engine)
+        assert result == pytest.approx(_reference(), rel=1e-9)
+
+    def test_no_recursion_limit_workaround_in_tree(self):
+        # Regression guard: the workaround must not come back.
+        import pathlib
+
+        import repro
+
+        src_root = pathlib.Path(repro.__file__).parent
+        offenders = [
+            path
+            for path in src_root.rglob("*.py")
+            if "setrecursionlimit" in path.read_text()
+        ]
+        assert offenders == []
