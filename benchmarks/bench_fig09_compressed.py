@@ -12,12 +12,16 @@ from __future__ import annotations
 
 import pytest
 
+from conftest import quick_trim
+
 from repro import api
 from repro.compiler.execution import Engine
 from repro.data import generators
 from repro.runtime.compressed import compress
 
 MODES = ["base", "fused", "gen"]
+#: Quick mode keeps one dataset; the ULA/CLA/correctness split stays.
+DATASETS = quick_trim(["airline", "mnist"])
 _CACHE: dict = {}
 
 
@@ -44,7 +48,7 @@ def _build(block):
 
 
 @pytest.mark.bench
-@pytest.mark.parametrize("dataset", ["airline", "mnist"])
+@pytest.mark.parametrize("dataset", DATASETS)
 @pytest.mark.parametrize("mode", MODES)
 def test_fig09_ula(benchmark, dataset, mode):
     block = _dataset(dataset)
@@ -59,7 +63,7 @@ def test_fig09_ula(benchmark, dataset, mode):
 
 
 @pytest.mark.bench
-@pytest.mark.parametrize("dataset", ["airline", "mnist"])
+@pytest.mark.parametrize("dataset", DATASETS)
 @pytest.mark.parametrize("mode", MODES)
 def test_fig09_cla(benchmark, dataset, mode):
     comp = _compressed(dataset)
@@ -75,7 +79,7 @@ def test_fig09_cla(benchmark, dataset, mode):
 
 
 @pytest.mark.bench
-@pytest.mark.parametrize("dataset", ["airline", "mnist"])
+@pytest.mark.parametrize("dataset", DATASETS)
 def test_fig09_correctness_and_ratio(benchmark, dataset):
     """CLA results must equal ULA; compression must be favorable."""
     import numpy as np

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import pytest
 
+from conftest import quick_trim
+
 from repro.algorithms import glm_binomial_probit, kmeans, l2svm, mlogreg
 from repro.compiler.execution import Engine
 from repro.config import ClusterConfig, CodegenConfig
@@ -73,12 +75,16 @@ ALGOS = {
     "KMeans": lambda x, y, e: kmeans(x, n_centroids=5, engine=e, max_iter=3),
 }
 
-DATASETS = ["D200k", "S200k", "Mnist20k"]
+#: Quick mode trims the dataset/algorithm grids (sizes stay unchanged,
+#: so the distributed path is still forced past the driver budget).
+DATASETS = quick_trim(["D200k", "S200k", "Mnist20k"])
+TABLE6_ALGOS = quick_trim(["L2SVM", "KMeans"])
+ADDITIONAL_ALGOS = quick_trim(["MLogreg", "GLM"])
 
 
 @pytest.mark.bench
 @pytest.mark.parametrize("dataset", DATASETS)
-@pytest.mark.parametrize("algo", ["L2SVM", "KMeans"])
+@pytest.mark.parametrize("algo", TABLE6_ALGOS)
 @pytest.mark.parametrize("mode", MODES)
 def test_table6(benchmark, dataset, algo, mode):
     x, y = _dataset(dataset)
@@ -97,12 +103,14 @@ def test_table6(benchmark, dataset, algo, mode):
             "sim_seconds": round(stats.sim_seconds, 3),
             "sim_broadcast_mb": round(stats.sim_broadcast_bytes / 1e6, 1),
             "n_distributed_ops": stats.n_distributed_ops,
+            "n_blocked_passthrough": stats.n_blocked_passthrough,
+            "n_collects": stats.n_collects,
         }
     )
 
 
 @pytest.mark.bench
-@pytest.mark.parametrize("algo", ["MLogreg", "GLM"])
+@pytest.mark.parametrize("algo", ADDITIONAL_ALGOS)
 @pytest.mark.parametrize("mode", ["base", "fused", "gen", "gen-fa"])
 def test_table6_additional_algos(benchmark, algo, mode):
     x, y = _dataset("D200k")

@@ -141,7 +141,9 @@ def compile_program(roots: list[Hop], ctx: CompilationContext,
         passes = build_pipeline(ctx.mode)
     roots = run_passes(roots, passes, ctx)
     start = time.perf_counter()
-    program = lower_program(roots, ctx.mode)
+    program = lower_program(
+        roots, ctx.mode, distributed=ctx.config.cluster is not None
+    )
     elapsed = time.perf_counter() - start
     seconds = ctx.stats.pipeline_pass_seconds
     seconds["lowering"] = seconds.get("lowering", 0.0) + elapsed

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.hops.hop import DataOp, Hop, LiteralOp, SpoofOp, SpoofOutOp
+from repro.hops.types import ExecType
 
 
 @dataclass
@@ -39,7 +40,9 @@ class Instruction:
                       (or the distributed backend, per ``hop.exec_type``),
     * ``spoof``     — a generated fused operator (``hop.operator``),
     * ``spoof_out`` — scalar extraction from a multi-aggregate output,
-    * ``fused``     — a hand-coded fused pattern (``fused_match``).
+    * ``fused``     — a hand-coded fused pattern (``fused_match``),
+    * ``collect``   — materialize a distributed (blocked) intermediate
+                      at an exec-type boundary or program root.
     """
 
     index: int
@@ -121,7 +124,88 @@ class Program:
         self.pinned.update(self.root_slots)
 
 
-def lower_program(roots: list[Hop], mode: str) -> Program:
+def _emits_blocked_value(instr: Instruction) -> bool:
+    """True for instructions whose runtime output may stay distributed
+    (a ``BlockedMatrix``) instead of a driver-side block."""
+    return (
+        instr.opcode in ("hop", "spoof")
+        and instr.hop.exec_type is ExecType.SPARK
+        and instr.hop.is_matrix
+    )
+
+
+def _consumes_blocked_values(instr: Instruction) -> bool:
+    """True for instructions dispatched to the distributed backend,
+    which accept ``BlockedMatrix`` inputs partition-wise."""
+    return (
+        instr.opcode in ("hop", "spoof")
+        and instr.hop.exec_type is ExecType.SPARK
+    )
+
+
+def insert_collect_boundaries(program: Program) -> None:
+    """Insert explicit ``collect`` instructions at exec-type boundaries.
+
+    SPARK-typed instructions produce row-partitioned ``BlockedMatrix``
+    values that chained SPARK consumers read partition-wise.  Any
+    CP-typed consumer — and any program root — needs the materialized
+    driver-side block instead, so each such slot gains one ``collect``
+    instruction right after its producer; only the non-distributed
+    readers are rewired to the collected slot.  Must run before
+    :meth:`Program.finalize` (it renumbers instructions and slots).
+    """
+    blocked_slots = {
+        instr.output_slot for instr in program.instructions
+        if _emits_blocked_value(instr)
+    }
+    if not blocked_slots:
+        return
+    needs_collect = {
+        slot for slot in program.root_slots if slot in blocked_slots
+    }
+    for instr in program.instructions:
+        if _consumes_blocked_values(instr):
+            continue
+        needs_collect.update(
+            slot for slot in instr.input_slots if slot in blocked_slots
+        )
+    if not needs_collect:
+        return
+
+    collected_slot: dict[int, int] = {}
+    rebuilt: list[Instruction] = []
+    for instr in program.instructions:
+        if not _consumes_blocked_values(instr):
+            # Producers appear before consumers (topological order), so
+            # every needed collected slot already exists here.
+            instr.input_slots = [
+                collected_slot.get(slot, slot) for slot in instr.input_slots
+            ]
+        rebuilt.append(instr)
+        if instr.output_slot in needs_collect:
+            fresh = program.n_slots
+            program.n_slots += 1
+            collected_slot[instr.output_slot] = fresh
+            rebuilt.append(
+                Instruction(
+                    index=0,  # renumbered below
+                    opcode="collect",
+                    hop=instr.hop,
+                    input_slots=[instr.output_slot],
+                    output_slot=fresh,
+                    weight=instr.weight,
+                )
+            )
+    for position, instr in enumerate(rebuilt):
+        instr.index = position
+    program.instructions = rebuilt
+    program.root_slots = [
+        collected_slot.get(slot, slot) for slot in program.root_slots
+    ]
+
+
+def lower_program(roots: list[Hop], mode: str,
+                  distributed: bool = False) -> Program:
     """Lower an optimized multi-root HOP DAG into a :class:`Program`.
 
     The walk is demand-driven from the roots and fully iterative, so
@@ -129,6 +213,9 @@ def lower_program(roots: list[Hop], mode: str) -> Program:
     hand-coded patterns are matched per demanded hop; intermediates
     covered by a pattern are lowered only if another consumer demands
     them separately (matching the old lazy interpreter's semantics).
+    With ``distributed=True`` (a cluster is configured), explicit
+    ``collect`` instructions are inserted wherever a SPARK-typed
+    producer feeds a CP-typed consumer or a program root.
     """
     from repro.compiler.fused_lib import match_fused_pattern
 
@@ -199,5 +286,7 @@ def lower_program(roots: list[Hop], mode: str) -> Program:
         stack.pop()
 
     program.root_slots = [slot_of[r.id] for r in roots]
+    if distributed:
+        insert_collect_boundaries(program)
     program.finalize()
     return program

@@ -3,36 +3,64 @@
 This substitutes the paper's Spark cluster: matrices are partitioned
 into row-block partitions executed locally, while an analytical network
 and I/O model charges *simulated seconds* for distributed reads,
-shuffles, and broadcasts.  The cost structure is what Table 6 measures:
-fuse-all dragging driver-side vector operations into distributed
-operators pays per-worker broadcast costs for every extra side input,
-while cost-based plans avoid them.
+shuffles, broadcasts, and driver collects.  The cost structure is what
+Table 6 measures: fuse-all dragging driver-side vector operations into
+distributed operators pays per-worker broadcast costs for every extra
+side input, while cost-based plans avoid them.
 
-Execution remains numerically exact — per-partition kernels compute the
-same results as local execution; only the timing is modeled.
+Distributed intermediates are first-class runtime values: a SPARK-typed
+instruction returns a :class:`BlockedMatrix` that the next SPARK-typed
+instruction consumes *partition-wise* without materializing it on the
+driver.  Materialization happens only at the explicit ``collect``
+boundaries the compiler inserts at exec-type transitions (and program
+roots).  Aggregation outputs are combined by a tree-reduce over the
+per-partition partials.
+
+The RDD-cache model is keyed by *lineage* — stable symbol-table-slot
+keys for intermediates and identity-guarded keys for program inputs —
+never by the transient ``id()`` of a runtime value, so eagerly freed
+(and address-reused) blocks can never register a spurious cache hit.
+
+Execution remains numerically exact up to floating-point reassociation
+of aggregations — per-partition kernels compute the same results as
+local execution; only the timing is modeled.
 """
 
 from __future__ import annotations
+
+import weakref
 
 import numpy as np
 
 from repro.config import ClusterConfig, CodegenConfig
 from repro.errors import RuntimeExecError
-from repro.hops import memory
 from repro.hops.hop import Hop, SpoofOp
-from repro.hops.types import OpKind
+from repro.hops.types import AggDir, OpKind
 from repro.runtime import ops as rops
 from repro.runtime.matrix import MatrixBlock
 from repro.runtime.stats import RuntimeStats
 
 
 class BlockedMatrix:
-    """A matrix partitioned into row blocks (one per partition)."""
+    """A matrix partitioned into row blocks (one per partition).
 
-    def __init__(self, blocks: list[MatrixBlock], rows: int, cols: int):
+    Instances flow between SPARK-typed instructions as ordinary symbol
+    table values; ``bounds[p]`` records the global row range of block
+    ``p``, which is what makes side inputs row-sliceable per partition.
+    """
+
+    def __init__(self, blocks: list[MatrixBlock], rows: int, cols: int,
+                 bounds: list[tuple[int, int]] | None = None):
         self.blocks = blocks
         self.rows = rows
         self.cols = cols
+        if bounds is None:
+            bounds = []
+            r0 = 0
+            for block in blocks:
+                bounds.append((r0, r0 + block.rows))
+                r0 += block.rows
+        self.bounds = bounds
 
     @classmethod
     def partition(cls, block: MatrixBlock, n_partitions: int) -> "BlockedMatrix":
@@ -44,25 +72,83 @@ class BlockedMatrix:
         else:
             arr = block.to_dense()
             parts = [MatrixBlock(arr[r0:r1]) for r0, r1 in bounds]
-        return cls(parts, rows, cols)
+        return cls(parts, rows, cols, bounds)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.blocks)
 
     def collect(self) -> MatrixBlock:
-        from repro.runtime.ops import rbind
+        """Materialize as one MatrixBlock via a single concatenation."""
+        import scipy.sparse as sp
 
-        result = self.blocks[0]
-        for part in self.blocks[1:]:
-            result = rbind(result, part)
-        return result
+        if not self.blocks:
+            return MatrixBlock(np.zeros((self.rows, self.cols)))
+        if len(self.blocks) == 1:
+            return self.blocks[0]
+        if all(not b.is_sparse for b in self.blocks):
+            return MatrixBlock(
+                np.concatenate([b.to_dense() for b in self.blocks], axis=0)
+            )
+        stacked = sp.vstack([b.to_csr() for b in self.blocks], format="csr")
+        return MatrixBlock(stacked)
+
+    def is_copartitioned(self, other: "BlockedMatrix") -> bool:
+        return self.rows == other.rows and self.bounds == other.bounds
 
     @property
     def size_bytes(self) -> float:
         return sum(b.size_bytes for b in self.blocks)
 
+    def __repr__(self) -> str:
+        return (
+            f"BlockedMatrix({self.rows}x{self.cols}, "
+            f"{self.n_partitions} partitions)"
+        )
+
 
 def _partition_bounds(rows: int, n_partitions: int) -> list[tuple[int, int]]:
+    if rows <= 0:
+        return []
     n_partitions = max(1, min(n_partitions, rows))
     step = (rows + n_partitions - 1) // n_partitions
     return [(r0, min(rows, r0 + step)) for r0 in range(0, rows, step)]
+
+
+def tree_reduce(partials: list, combine) -> tuple[object, int]:
+    """Pairwise tree-reduction; returns (result, number of levels)."""
+    parts = list(partials)
+    if not parts:
+        raise RuntimeExecError("tree_reduce over zero partials")
+    levels = 0
+    while len(parts) > 1:
+        merged = [
+            combine(parts[i], parts[i + 1])
+            for i in range(0, len(parts) - 1, 2)
+        ]
+        if len(parts) % 2:
+            merged.append(parts[-1])
+        parts = merged
+        levels += 1
+    return parts[0], levels
+
+
+def _combine_partials(a, b, agg: str):
+    """Combine two aggregation partials (floats or MatrixBlocks)."""
+    func = {"sum": np.add, "min": np.minimum, "max": np.maximum}[agg]
+    if isinstance(a, MatrixBlock) or isinstance(b, MatrixBlock):
+        a_arr = a.to_dense() if isinstance(a, MatrixBlock) else a
+        b_arr = b.to_dense() if isinstance(b, MatrixBlock) else b
+        return MatrixBlock(func(a_arr, b_arr))
+    return float(func(a, b))
+
+
+#: Map-side placement decisions for one basic hop.
+_MAP, _REDUCE, _LOCAL = "map", "reduce", "local"
 
 
 class SparkExecutor:
@@ -75,9 +161,14 @@ class SparkExecutor:
         self.stats = stats
         # RDD-cache model: distributed datasets stay in aggregate
         # executor memory after the first read/write, so re-reads cost
-        # memory bandwidth, not distributed-IO bandwidth.
-        self._cached_ids: set[int] = set()
+        # memory bandwidth, not distributed-IO bandwidth.  Entries are
+        # keyed by lineage (symbol-table slot or guarded input
+        # identity), never by the id() of a runtime value.
+        self._cache: dict = {}  # key -> (size_bytes, guard weakref | None)
         self._cached_bytes: float = 0.0
+        # Broadcast variables occupy aggregate memory; accumulated
+        # pressure eventually evicts cached datasets (Table 6).
+        self._broadcast_pressure: float = 0.0
         self._mem_bandwidth = 32e9 * cluster.n_workers
 
     @property
@@ -85,28 +176,84 @@ class SparkExecutor:
         return self.cluster.n_workers * 2
 
     # ------------------------------------------------------------------
+    # RDD cache (lineage-keyed)
+    # ------------------------------------------------------------------
+    def _is_cached(self, key, value=None) -> bool:
+        if key is None:
+            return False
+        entry = self._cache.get(key)
+        if entry is None:
+            return False
+        size, guard = entry
+        if guard is not None and guard() is not value:
+            # The guarded input died (or was replaced); the cached RDD
+            # is unreachable — drop the entry instead of aliasing.
+            del self._cache[key]
+            self._cached_bytes -= size
+            return False
+        return True
+
+    def _cache_put(self, key, size_bytes: float, value=None) -> None:
+        if key is None or key in self._cache:
+            return
+        if self._cached_bytes + size_bytes > self.cluster.aggregate_mem:
+            return
+        guard = None
+        if key[0] == "data" and value is not None:
+            try:
+                guard = weakref.ref(value)
+            except TypeError:
+                return  # identity key without a liveness guard: skip
+        self._cache[key] = (size_bytes, guard)
+        self._cached_bytes += size_bytes
+
+    def _evict_cache(self) -> None:
+        if self._cache:
+            self.stats.n_rdd_cache_evictions += 1
+        self._cache.clear()
+        self._cached_bytes = 0.0
+        self._broadcast_pressure = 0.0
+
+    def prune_cache(self, live_epoch: int | None = None) -> None:
+        """Drop entries that can never be probed again, so dead
+        lineages don't pin ``aggregate_mem`` and starve live datasets.
+
+        Key layout (produced by ``ProgramExecutor._slot_keys``):
+        ``("v", epoch, slot)`` intermediates are unreachable once their
+        program finished (any epoch < ``live_epoch``); ``("data", id)``
+        input entries die with their weakref guard.  The executor calls
+        this at the start of every program run.
+        """
+        for key in list(self._cache):
+            size, guard = self._cache[key]
+            dead = (
+                guard() is None if guard is not None
+                else key[0] == "v" and (
+                    live_epoch is None or key[1] < live_epoch
+                )
+            )
+            if dead:
+                del self._cache[key]
+                self._cached_bytes -= size
+
+    # ------------------------------------------------------------------
     # Cost charging
     # ------------------------------------------------------------------
-    def _is_cached(self, value) -> bool:
-        return id(value) in self._cached_ids
-
-    def _cache(self, value, size_bytes: float) -> None:
-        if self._cached_bytes + size_bytes <= self.cluster.aggregate_mem:
-            self._cached_ids.add(id(value))
-            self._cached_bytes += size_bytes
-
-    def charge_read(self, size_bytes: float, value=None) -> None:
-        if value is not None and self._is_cached(value):
+    def charge_read(self, size_bytes: float, key=None, value=None) -> None:
+        if self._is_cached(key, value):
+            self.stats.n_rdd_cache_hits += 1
             self.stats.sim_seconds += size_bytes / self._mem_bandwidth
             return
         self.stats.sim_seconds += size_bytes / self.cluster.hdfs_bandwidth
-        if value is not None:
-            self._cache(value, size_bytes)
+        self._cache_put(key, size_bytes, value)
 
-    def charge_write(self, size_bytes: float, value=None) -> None:
+    def charge_write(self, size_bytes: float, key=None, value=None) -> None:
         self.stats.sim_seconds += size_bytes / self.cluster.hdfs_bandwidth
-        if value is not None:
-            self._cache(value, size_bytes)
+        self._cache_put(key, size_bytes, value)
+
+    def charge_memory_scan(self, size_bytes: float) -> None:
+        """Reading an in-memory (blocked/cached) dataset."""
+        self.stats.sim_seconds += size_bytes / self._mem_bandwidth
 
     def charge_broadcast(self, size_bytes: float) -> None:
         replicated = size_bytes * self.cluster.n_workers
@@ -116,126 +263,337 @@ class SparkExecutor:
         # evictions of cached datasets (the Table 6 discussion): once
         # accumulated broadcast storage crosses a fraction of aggregate
         # memory, cached inputs drop and must be re-read.
-        self._broadcast_pressure = getattr(self, "_broadcast_pressure", 0.0) + replicated
+        self._broadcast_pressure += replicated
         if self._broadcast_pressure > 0.25 * self.cluster.aggregate_mem:
-            self._cached_ids.clear()
-            self._cached_bytes = 0.0
-            self._broadcast_pressure = 0.0
+            self._evict_cache()
 
     def charge_shuffle(self, size_bytes: float) -> None:
         self.stats.sim_shuffle_bytes += size_bytes
         self.stats.sim_seconds += size_bytes / self.cluster.net_bandwidth
 
+    def charge_collect(self, size_bytes: float) -> None:
+        self.stats.sim_collect_bytes += size_bytes
+        self.stats.sim_seconds += size_bytes / self.cluster.net_bandwidth
+
+    def charge_tree_reduce(self, partial_bytes: float, levels: int) -> None:
+        if levels <= 0:
+            return
+        self.stats.n_tree_reduces += 1
+        self.charge_shuffle(partial_bytes * levels)
+
+    # ------------------------------------------------------------------
+    # Value plumbing
+    # ------------------------------------------------------------------
+    def collect_value(self, blocked: BlockedMatrix) -> MatrixBlock:
+        """Materialize a distributed value at the driver (charged)."""
+        self.stats.n_collects += 1
+        result = blocked.collect()
+        self.charge_collect(result.size_bytes)
+        return result
+
+    def _as_blocked(self, value, key=None) -> BlockedMatrix:
+        """Main-input access: reuse an existing partitioning, or read
+        and partition a driver-side block."""
+        if isinstance(value, BlockedMatrix):
+            self.stats.n_blocked_passthrough += 1
+            self.charge_memory_scan(value.size_bytes)
+            return value
+        self.charge_read(value.size_bytes, key=key, value=value)
+        self.stats.n_partitioned += 1
+        return BlockedMatrix.partition(value, self.n_partitions)
+
     # ------------------------------------------------------------------
     # Operator execution
     # ------------------------------------------------------------------
-    def execute_instruction(self, instr, input_values: list) -> object:
+    def execute_instruction(self, instr, input_values: list,
+                            input_keys: list | None = None,
+                            output_key=None) -> object:
         """Dispatch one lowered Program instruction to the cluster.
 
         The runtime executor hands SPARK-typed instructions here; basic
         hops and generated operators take different cost paths.
+        ``input_keys`` are lineage keys for the RDD-cache model.
         """
         if instr.opcode == "spoof":
-            return self.execute_spoof(instr.hop, input_values)
-        return self.execute_hop(instr.hop, input_values)
+            return self.execute_spoof(instr.hop, input_values,
+                                      input_keys, output_key)
+        return self.execute_hop(instr.hop, input_values,
+                                input_keys, output_key)
 
-    def execute_hop(self, hop: Hop, input_values: list) -> object:
-        """Execute one basic HOP distributed: partition the largest
-        matrix input row-wise, broadcast the others, reassemble."""
+    def execute_hop(self, hop: Hop, input_values: list,
+                    input_keys: list | None = None,
+                    output_key=None) -> object:
+        """Execute one basic HOP distributed: the largest matrix input
+        is (or stays) row-partitioned, side inputs are zipped, sliced,
+        or broadcast, and outputs stay blocked for row-local operations."""
         self.stats.n_distributed_ops += 1
+        keys = list(input_keys) if input_keys else [None] * len(input_values)
         mats = [
             (idx, v) for idx, v in enumerate(input_values)
-            if isinstance(v, MatrixBlock)
+            if isinstance(v, (MatrixBlock, BlockedMatrix))
         ]
         if not mats:
             raise RuntimeExecError("distributed op without matrix input")
         main_idx, main_val = max(mats, key=lambda item: item[1].size_bytes)
 
-        if hop.kind is OpKind.AGG_BINARY and input_values[0] is not main_val:
+        if hop.kind is OpKind.AGG_BINARY and main_idx != 0:
             # Matrix multiplication with the big matrix on the right:
             # repartitioning/shuffle of the left operand.
-            self.charge_shuffle(input_values[0].size_bytes)
+            self.charge_shuffle(_value_bytes(input_values[0]))
 
-        self.charge_read(main_val.size_bytes, value=main_val)
-        for idx, val in mats:
-            if idx != main_idx:
-                same_dims = val.shape == main_val.shape
-                if same_dims:
-                    # Co-partitioned join of two large inputs.
-                    self.charge_shuffle(val.size_bytes)
+        placement = self._placement(hop, input_values, main_idx)
+        if placement is _LOCAL:
+            return self._execute_local(hop, input_values, keys, main_idx,
+                                       output_key)
+
+        main_blocked = self._as_blocked(main_val, keys[main_idx])
+        part_inputs = self._prepare_partition_inputs(
+            hop, input_values, main_idx, main_blocked
+        )
+
+        if placement is _REDUCE:
+            return self._execute_reduce(hop, main_blocked, part_inputs)
+
+        parts = [_basic_kernel(hop, values) for values in part_inputs]
+        return BlockedMatrix(
+            parts, main_blocked.rows, parts[0].cols, main_blocked.bounds
+        )
+
+    # -- placement -----------------------------------------------------
+    def _placement(self, hop: Hop, values: list, main_idx: int) -> str:
+        """Classify a basic hop: partition-wise map, partial-aggregate
+        reduce, or single-partition local execution."""
+        kind = hop.kind
+        if kind is OpKind.UNARY:
+            # cumsum is a column-direction prefix scan — not row-local.
+            return _LOCAL if hop.op == "cumsum" else _MAP
+        if kind in (OpKind.BINARY, OpKind.TERNARY):
+            main_rows = _rows_of(values[main_idx])
+            row_local = all(
+                not isinstance(v, (MatrixBlock, BlockedMatrix))
+                or _rows_of(v) in (main_rows, 1)
+                for v in values
+            )
+            return _MAP if row_local else _LOCAL
+        if kind is OpKind.AGG_UNARY:
+            return _MAP if hop.direction is AggDir.ROW else _REDUCE
+        if kind is OpKind.AGG_BINARY:
+            # Row-partitioned matmult distributes when the partitioned
+            # matrix is the left operand; the right side broadcasts.
+            return _MAP if main_idx == 0 else _LOCAL
+        return _LOCAL
+
+    # -- side inputs ---------------------------------------------------
+    def _prepare_partition_inputs(self, hop: Hop, values: list,
+                                  main_idx: int,
+                                  main_blocked: BlockedMatrix) -> list[list]:
+        """Per-partition input lists; charges side-input traffic once."""
+        cellwise = hop.kind in (OpKind.UNARY, OpKind.BINARY, OpKind.TERNARY)
+        plans: list = []  # ('main',) | ('zip', bm) | ('slice', mb) | ('whole', v)
+        for idx, value in enumerate(values):
+            if idx == main_idx:
+                plans.append(("main", None))
+                continue
+            if not isinstance(value, (MatrixBlock, BlockedMatrix)):
+                plans.append(("whole", value))
+                continue
+            if isinstance(value, BlockedMatrix):
+                if cellwise and value.is_copartitioned(main_blocked):
+                    # Co-partitioned zip: no network traffic.
+                    plans.append(("zip", value))
+                    continue
+                value = self.collect_value(value)
+            same_shape = value.shape == (main_blocked.rows, main_blocked.cols)
+            if same_shape:
+                # Co-partitioned join of two large inputs.
+                self.charge_shuffle(value.size_bytes)
+            else:
+                self.charge_broadcast(value.size_bytes)
+            if cellwise and value.rows == main_blocked.rows and value.rows > 1:
+                plans.append(("slice", value))
+            else:
+                plans.append(("whole", value))
+
+        part_inputs: list[list] = []
+        for p, (r0, r1) in enumerate(main_blocked.bounds):
+            part_values = []
+            for mode, value in plans:
+                if mode == "main":
+                    part_values.append(main_blocked.blocks[p])
+                elif mode == "zip":
+                    part_values.append(value.blocks[p])
+                elif mode == "slice":
+                    part_values.append(rops.rix(value, r0, r1, 0, value.cols))
                 else:
-                    self.charge_broadcast(val.size_bytes)
+                    part_values.append(value)
+            part_inputs.append(part_values)
+        return part_inputs
 
-        # Row-partitioned execution only distributes cleanly when the
-        # main input is partitioned by rows and the operation is
-        # row-local; other cases execute as one "partition".
-        result = self._interpret_basic(hop, input_values)
+    # -- execution strategies ------------------------------------------
+    def _execute_local(self, hop: Hop, values: list, keys: list,
+                       main_idx: int, output_key=None) -> object:
+        """Operations without a row-local distributed form execute as a
+        single partition; distributed inputs are collected first."""
+        local_values = []
+        for idx, value in enumerate(values):
+            if isinstance(value, BlockedMatrix):
+                value = self.collect_value(value)
+            elif isinstance(value, MatrixBlock):
+                if idx == main_idx:
+                    self.charge_read(value.size_bytes, key=keys[idx],
+                                     value=value)
+                elif value.shape == _shape_of(values[main_idx]):
+                    self.charge_shuffle(value.size_bytes)
+                else:
+                    self.charge_broadcast(value.size_bytes)
+            local_values.append(value)
+        result = _basic_kernel(hop, local_values)
         if isinstance(result, MatrixBlock):
-            self.charge_write(result.size_bytes, value=result)
+            self.charge_write(result.size_bytes, key=output_key, value=result)
         return result
 
-    def execute_spoof(self, hop: SpoofOp, input_values: list) -> object:
-        """Execute a fused operator distributed: main input partitioned,
-        all side inputs broadcast (the Table 6 broadcast overhead)."""
-        from repro.codegen.cplan import OutType
-        from repro.runtime.skeletons import execute_operator
+    def _execute_reduce(self, hop: Hop, main_blocked: BlockedMatrix,
+                        part_inputs: list[list]) -> object:
+        """Full/column aggregations: per-partition partials combined by
+        a tree-reduce (mean decomposes into a sum of partials)."""
+        agg = hop.agg_op.value
+        direction = hop.direction.value
+        base_op = "sum" if agg == "mean" else agg
+        combine_op = "sum" if base_op in ("sum", "sumsq") else base_op
+        partials = [
+            rops.agg_unary(base_op, values[0], direction)
+            for values in part_inputs
+        ]
+        result, levels = tree_reduce(
+            partials, lambda a, b: _combine_partials(a, b, combine_op)
+        )
+        self.charge_tree_reduce(_value_bytes(partials[0]), levels)
+        if agg == "mean":
+            denom = (
+                main_blocked.rows * main_blocked.cols
+                if hop.direction is AggDir.FULL
+                else main_blocked.rows
+            )
+            if isinstance(result, MatrixBlock):
+                result = MatrixBlock(result.to_dense() / denom)
+            else:
+                result = result / denom
+        return result
+
+    # -- generated fused operators -------------------------------------
+    def execute_spoof(self, hop: SpoofOp, input_values: list,
+                      input_keys: list | None = None,
+                      output_key=None) -> object:
+        """Execute a fused operator partition-wise: the main input is
+        (or stays) row-partitioned, all side inputs are broadcast once
+        per operator (the Table 6 broadcast overhead), and aggregation
+        outputs combine via a tree-reduce over per-partition partials."""
+        from repro.runtime.skeletons import (
+            execute_operator,
+            is_row_partitioned_output,
+            reduce_spoof_partials,
+        )
 
         self.stats.n_distributed_ops += 1
+        keys = list(input_keys) if input_keys else [None] * len(input_values)
         cplan = hop.operator.cplan
         main_index = cplan.main_index
-        for idx, value in enumerate(input_values):
-            size = _value_bytes(value)
+        values = list(input_values)
+
+        main_val = values[main_index] if main_index >= 0 else None
+        if not isinstance(main_val, (MatrixBlock, BlockedMatrix)):
+            # No partitionable main input: single-partition fallback.
+            for idx, value in enumerate(values):
+                if isinstance(value, BlockedMatrix):
+                    values[idx] = self.collect_value(value)
+                elif _value_bytes(value) > 0:
+                    self.charge_broadcast(_value_bytes(value))
+            return execute_operator(hop.operator, values, self.config,
+                                    self.stats)
+
+        main_blocked = self._as_blocked(main_val, keys[main_index])
+        for idx, value in enumerate(values):
             if idx == main_index:
-                self.charge_read(size, value=value)
-            elif size > 0:
+                continue
+            if isinstance(value, BlockedMatrix):
+                # Side inputs must be visible in full on every worker.
+                value = self.collect_value(value)
+                values[idx] = value
+            size = _value_bytes(value)
+            if size > 0:
                 self.charge_broadcast(size)
-        result = execute_operator(hop.operator, input_values, self.config, self.stats)
-        if isinstance(result, MatrixBlock):
-            if cplan.out_type in (OutType.FULL_AGG, OutType.COL_AGG,
-                                  OutType.COL_AGG_T, OutType.MULTI_AGG,
-                                  OutType.OUTER_FULL_AGG):
-                # Aggregation outputs combine via a tree-reduce.
-                self.charge_shuffle(result.size_bytes * np.log2(self.cluster.n_workers + 1))
-            else:
-                self.charge_write(result.size_bytes, value=result)
+
+        sliceable = _sliceable_spoof_inputs(cplan, values, main_blocked.rows)
+        self.stats.record_spoof(cplan.ttype.value)
+        partials = []
+        for p, (r0, r1) in enumerate(main_blocked.bounds):
+            part_values = []
+            for idx, value in enumerate(values):
+                if idx == main_index:
+                    part_values.append(main_blocked.blocks[p])
+                elif idx in sliceable:
+                    part_values.append(rops.rix(value, r0, r1, 0, value.cols))
+                else:
+                    part_values.append(value)
+            partials.append(
+                execute_operator(hop.operator, part_values, self.config)
+            )
+
+        if is_row_partitioned_output(cplan.out_type):
+            blocks = [
+                p if isinstance(p, MatrixBlock) else MatrixBlock(p)
+                for p in partials
+            ]
+            return BlockedMatrix(
+                blocks, main_blocked.rows, blocks[0].cols, main_blocked.bounds
+            )
+        result, levels = reduce_spoof_partials(cplan, partials, tree_reduce)
+        self.charge_tree_reduce(_value_bytes(partials[0]), levels)
         return result
 
-    def _interpret_basic(self, hop: Hop, values: list) -> object:
-        """Partition-wise execution of one basic operator."""
-        from repro.hops.hop import AggUnaryOp, BinaryOp, TernaryOp, UnaryOp
-        from repro.hops.types import AggDir
 
-        if isinstance(hop, (UnaryOp, BinaryOp, TernaryOp)) and hop.is_matrix:
-            main = max(
-                (v for v in values if isinstance(v, MatrixBlock)),
-                key=lambda v: v.size_bytes,
-            )
-            if main.rows >= self.n_partitions and all(
-                not isinstance(v, MatrixBlock)
-                or v.rows in (main.rows, 1)
-                for v in values
-            ):
-                return self._rowwise_blocked(hop, values, main)
-        return _basic_kernel(hop, values)
+def _sliceable_spoof_inputs(cplan, values: list, main_rows: int) -> set[int]:
+    """Indices of side inputs that are row-aligned with the main input
+    and therefore sliced to each partition's row range."""
+    from repro.codegen.cplan import Access, OutType
+    from repro.codegen.template import TemplateType
+
+    sliceable: set[int] = set()
+    for idx, (spec, value) in enumerate(zip(cplan.inputs, values)):
+        if idx == cplan.main_index or spec.access is Access.SCALAR:
+            continue
+        if not isinstance(value, MatrixBlock):
+            continue
+        if cplan.ttype is TemplateType.OUTER:
+            # U is row-aligned by construction; W is row-aligned only
+            # for the left-multiply accumulation; V never is.
+            if idx == cplan.u_index:
+                sliceable.add(idx)
+            elif idx == cplan.w_index:
+                if cplan.out_type is OutType.OUTER_LEFT:
+                    sliceable.add(idx)
+            elif idx != cplan.v_index and value.rows == main_rows > 1:
+                sliceable.add(idx)
+        elif (spec.access is Access.SIDE_ROW
+              and value.rows == main_rows > 1):
+            sliceable.add(idx)
+    return sliceable
 
 
-    def _rowwise_blocked(self, hop: Hop, values: list, main: MatrixBlock):
-        bounds = _partition_bounds(main.rows, self.n_partitions)
-        parts = []
-        for r0, r1 in bounds:
-            part_values = []
-            for v in values:
-                if isinstance(v, MatrixBlock) and v.rows == main.rows:
-                    part_values.append(rops.rix(v, r0, r1, 0, v.cols))
-                else:
-                    part_values.append(v)
-            parts.append(_basic_kernel(hop, part_values))
-        blocked = BlockedMatrix(parts, main.rows, parts[0].cols)
-        return blocked.collect()
+def _rows_of(value) -> int:
+    if isinstance(value, (MatrixBlock, BlockedMatrix)):
+        return value.rows
+    return 0
+
+
+def _shape_of(value):
+    if isinstance(value, (MatrixBlock, BlockedMatrix)):
+        return (value.rows, value.cols)
+    return None
 
 
 def _value_bytes(value) -> float:
-    if isinstance(value, MatrixBlock):
+    if isinstance(value, (MatrixBlock, BlockedMatrix)):
         return value.size_bytes
     return 8.0
 

@@ -43,9 +43,15 @@ def _record_output(stats: RuntimeStats, result) -> None:
 
 
 def execute_instruction(instr, inputs: list, config: CodegenConfig,
-                        stats: RuntimeStats, spark=None):
-    """Execute one lowered instruction on runtime values."""
-    from repro.runtime.distributed import _basic_kernel
+                        stats: RuntimeStats, spark=None,
+                        input_keys: list | None = None, output_key=None):
+    """Execute one lowered instruction on runtime values.
+
+    ``input_keys`` / ``output_key`` are lineage keys (stable per
+    symbol-table slot) that the distributed backend's RDD-cache model
+    uses instead of runtime-value identity.
+    """
+    from repro.runtime.distributed import BlockedMatrix, _basic_kernel
     from repro.runtime.skeletons import execute_operator
 
     hop = instr.hop
@@ -56,15 +62,31 @@ def execute_instruction(instr, inputs: list, config: CodegenConfig,
         return result
     if instr.opcode == "spoof_out":
         return float(inputs[0].get(hop.index, 0))
+    if instr.opcode == "collect":
+        # Exec-type boundary: materialize a distributed intermediate.
+        value = inputs[0]
+        if isinstance(value, BlockedMatrix):
+            result = (
+                spark.collect_value(value) if spark is not None
+                else value.collect()
+            )
+        else:
+            result = value  # producer already returned a local value
+        _record_output(stats, result)
+        return result
     if instr.opcode == "spoof":
         if spark is not None and hop.exec_type is ExecType.SPARK:
-            result = spark.execute_instruction(instr, inputs)
+            result = spark.execute_instruction(
+                instr, inputs, input_keys, output_key
+            )
         else:
             result = execute_operator(hop.operator, inputs, config, stats)
         _record_output(stats, result)
         return result
     if spark is not None and hop.exec_type is ExecType.SPARK:
-        result = spark.execute_instruction(instr, inputs)
+        result = spark.execute_instruction(
+            instr, inputs, input_keys, output_key
+        )
     else:
         result = _basic_kernel(hop, inputs)
     _record_output(stats, result)
@@ -81,6 +103,9 @@ class ProgramExecutor:
         self.spark = spark
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        # Monotonic program counter: makes intermediate lineage keys
+        # unique across the programs one engine executes.
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     @property
@@ -108,11 +133,45 @@ class ProgramExecutor:
         values: list = [None] * program.n_slots
         for slot, value in program.constants:
             values[slot] = value
+        self._epoch += 1
+        if self.spark is not None:
+            # Previous programs' intermediate lineages (and inputs whose
+            # guard died) can never be probed again — release their
+            # share of the modeled aggregate memory.
+            self.spark.prune_cache(self._epoch)
         if self._should_parallelize(program):
             self._run_parallel(program, values)
         else:
             self._run_serial(program, values)
-        return [values[slot] for slot in program.root_slots]
+        return [self._as_root_value(values[slot])
+                for slot in program.root_slots]
+
+    def _as_root_value(self, value):
+        """Safety net: lowering inserts ``collect`` boundaries at roots,
+        but a hand-built program may still leave a blocked root."""
+        from repro.runtime.distributed import BlockedMatrix
+
+        if isinstance(value, BlockedMatrix):
+            if self.spark is not None:
+                return self.spark.collect_value(value)
+            return value.collect()
+        return value
+
+    def _slot_keys(self, program) -> list:
+        """Lineage keys per symbol-table slot.
+
+        Instruction outputs key by (epoch, slot) — unique for the
+        lifetime of the engine, so a freed-and-reallocated block can
+        never alias a cache entry.  Program inputs key by data identity
+        (guarded by a weakref inside the cache) so iterative workloads
+        re-binding the same input block keep hitting the RDD cache
+        across programs.
+        """
+        keys = [("v", self._epoch, slot) for slot in range(program.n_slots)]
+        for slot, value in program.constants:
+            if isinstance(value, MatrixBlock):
+                keys[slot] = ("data", id(value))
+        return keys
 
     def _should_parallelize(self, program) -> bool:
         if self.config.executor_mode != "parallel":
@@ -148,10 +207,16 @@ class ProgramExecutor:
         stats = self.stats
         counts = list(program.consumer_counts)
         pinned = program.pinned
+        slot_keys = self._slot_keys(program) if self.spark is not None else None
         for instr in program.instructions:
             inputs = [values[slot] for slot in instr.input_slots]
+            input_keys = output_key = None
+            if slot_keys is not None:
+                input_keys = [slot_keys[slot] for slot in instr.input_slots]
+                output_key = slot_keys[instr.output_slot]
             values[instr.output_slot] = execute_instruction(
-                instr, inputs, self.config, stats, self.spark
+                instr, inputs, self.config, stats, self.spark,
+                input_keys, output_key
             )
             stats.n_freed_early += self._free_dead_inputs(
                 instr, values, counts, pinned

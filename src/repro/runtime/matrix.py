@@ -25,7 +25,9 @@ ArrayLike = Union[np.ndarray, sp.spmatrix, "MatrixBlock", list]
 class MatrixBlock:
     """A two-dimensional float64 matrix in dense or CSR representation."""
 
-    __slots__ = ("_dense", "_sparse")
+    # __weakref__ lets the distributed RDD-cache model guard identity-
+    # keyed entries against freed-and-reallocated blocks.
+    __slots__ = ("_dense", "_sparse", "__weakref__")
 
     def __init__(self, data: ArrayLike):
         if isinstance(data, MatrixBlock):
@@ -96,8 +98,16 @@ class MatrixBlock:
         )
         if mat.nnz:
             mat.data[:] = rng.uniform(low, high, size=mat.nnz)
-            # Avoid accidental explicit zeros (low could be negative).
-            mat.data[mat.data == 0.0] = (low + high) / 2.0 or 1.0
+            # Avoid accidental explicit zeros (low could be negative)
+            # with an in-range replacement: the midpoint, or — when the
+            # midpoint itself is 0.0 (symmetric ranges like [-a, a)) —
+            # the three-quarter point, which is non-zero whenever the
+            # range is non-degenerate.
+            replacement = (low + high) / 2.0
+            if replacement == 0.0:
+                replacement = low + 0.75 * (high - low)
+            if replacement != 0.0:
+                mat.data[mat.data == 0.0] = replacement
         block = cls(mat)
         return block.examine_representation()
 

@@ -21,6 +21,56 @@ from repro.runtime.sideinput import SideInput
 
 _TILE_CELLS = 1 << 18
 
+#: Output variants whose partition-wise results are row-aligned with the
+#: main input — the distributed backend keeps them as a BlockedMatrix.
+_ROW_PARTITIONED_OUT = frozenset({
+    OutType.NO_AGG,
+    OutType.ROW_AGG,
+    OutType.OUTER_NO_AGG,
+    OutType.OUTER_RIGHT,
+})
+
+
+def is_row_partitioned_output(out_type: OutType) -> bool:
+    """True when partition-wise execution yields row-aligned blocks."""
+    return out_type in _ROW_PARTITIONED_OUT
+
+
+def reduce_spoof_partials(cplan: CPlan, partials: list, tree_reduce):
+    """Combine per-partition partials of an aggregating fused operator.
+
+    ``tree_reduce(parts, combine) -> (result, levels)`` is supplied by
+    the distributed backend so that the combination topology (and its
+    charged network traffic) lives in one place.  Returns the combined
+    value plus the number of reduction levels.
+    """
+    out = cplan.out_type
+    if out in (OutType.FULL_AGG, OutType.OUTER_FULL_AGG):
+        agg = cplan.agg_ops[0] if cplan.agg_ops else "sum"
+        return tree_reduce(
+            [float(p) for p in partials],
+            lambda a, b: float(_combine(np.float64(a), b, agg)),
+        )
+    if out in (OutType.COL_AGG, OutType.COL_AGG_T, OutType.OUTER_LEFT):
+        agg = cplan.agg_ops[0] if cplan.agg_ops else "sum"
+
+        def combine_blocks(a, b):
+            return MatrixBlock(_combine(a.to_dense(), b.to_dense(), agg))
+
+        return tree_reduce(partials, combine_blocks)
+    if out is OutType.MULTI_AGG:
+        # k x 1 partials; each root row combines under its own agg op.
+        def combine_multi(a, b):
+            a_arr, b_arr = a.to_dense(), b.to_dense()
+            merged = np.empty_like(a_arr)
+            for k in range(a_arr.shape[0]):
+                agg = cplan.agg_ops[k] if k < len(cplan.agg_ops) else "sum"
+                merged[k] = _combine(a_arr[k], b_arr[k], agg)
+            return MatrixBlock(merged)
+
+        return tree_reduce(partials, combine_multi)
+    raise RuntimeExecError(f"non-aggregating out type {out}")
+
 
 def execute_operator(operator, inputs: list, config, stats=None):
     """Execute a generated fused operator on runtime values.

@@ -22,8 +22,18 @@ class RuntimeStats:
     # Simulated distributed backend.
     sim_broadcast_bytes: float = 0.0
     sim_shuffle_bytes: float = 0.0
+    sim_collect_bytes: float = 0.0
     sim_seconds: float = 0.0
     n_distributed_ops: int = 0
+    # Blocked dataflow: how distributed intermediates moved between
+    # instructions (Table 6 mechanism observability).
+    n_partitioned: int = 0  # driver blocks partitioned onto the cluster
+    n_blocked_passthrough: int = 0  # ops consuming an already-blocked main
+    n_collects: int = 0  # blocked values materialized at the driver
+    n_tree_reduces: int = 0  # aggregations combined over partition partials
+    # Lineage-keyed RDD-cache model.
+    n_rdd_cache_hits: int = 0
+    n_rdd_cache_evictions: int = 0  # broadcast-pressure evictions
 
     # Compiler / codegen overhead (Table 3, Fig 11).
     n_dags_optimized: int = 0
@@ -65,6 +75,22 @@ class RuntimeStats:
             "n_freed_early": self.n_freed_early,
             "n_serial_runs": self.n_serial_runs,
             "n_parallel_runs": self.n_parallel_runs,
+        }
+
+    def distributed_summary(self) -> dict:
+        """Blocked-dataflow counters (Table 6 bench reporting)."""
+        return {
+            "n_distributed_ops": self.n_distributed_ops,
+            "n_partitioned": self.n_partitioned,
+            "n_blocked_passthrough": self.n_blocked_passthrough,
+            "n_collects": self.n_collects,
+            "n_tree_reduces": self.n_tree_reduces,
+            "n_rdd_cache_hits": self.n_rdd_cache_hits,
+            "n_rdd_cache_evictions": self.n_rdd_cache_evictions,
+            "sim_seconds": self.sim_seconds,
+            "sim_broadcast_mb": self.sim_broadcast_bytes / 1e6,
+            "sim_shuffle_mb": self.sim_shuffle_bytes / 1e6,
+            "sim_collect_mb": self.sim_collect_bytes / 1e6,
         }
 
     def record_spoof(self, template_name: str) -> None:

@@ -39,6 +39,47 @@ class TestBlockedMatrix:
         blocked = BlockedMatrix.partition(block, 8)
         assert len(blocked.blocks) == 3
 
+    @pytest.mark.parametrize("n_partitions", [1, 3, 16])
+    @pytest.mark.parametrize("representation", ["dense", "sparse"])
+    def test_collect_roundtrips_exactly(self, rng, n_partitions, representation):
+        if representation == "dense":
+            block = MatrixBlock(rng.random((41, 6)))
+        else:
+            block = MatrixBlock.rand(41, 6, sparsity=0.15, seed=7)
+        blocked = BlockedMatrix.partition(block, n_partitions)
+        collected = blocked.collect()
+        assert collected.shape == block.shape
+        assert collected.is_sparse == block.is_sparse
+        np.testing.assert_array_equal(
+            collected.to_dense(), block.to_dense()
+        )
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_collect_empty_matrix(self, sparse):
+        block = MatrixBlock.zeros(0, 5, sparse=sparse)
+        blocked = BlockedMatrix.partition(block, 4)
+        assert blocked.blocks == []
+        collected = blocked.collect()
+        assert collected.shape == (0, 5)
+
+    def test_collect_mixed_representations(self, rng):
+        dense_part = MatrixBlock(rng.random((10, 4)))
+        sparse_part = MatrixBlock.rand(10, 4, sparsity=0.1, seed=2)
+        blocked = BlockedMatrix([dense_part, sparse_part], 20, 4)
+        expected = np.vstack(
+            [dense_part.to_dense(), sparse_part.to_dense()]
+        )
+        np.testing.assert_array_equal(
+            blocked.collect().to_dense(), expected
+        )
+
+    def test_bounds_track_partitions(self, rng):
+        blocked = BlockedMatrix.partition(MatrixBlock(rng.random((50, 3))), 4)
+        assert blocked.bounds[0][0] == 0
+        assert blocked.bounds[-1][1] == 50
+        for (lo, hi), block in zip(blocked.bounds, blocked.blocks):
+            assert hi - lo == block.rows
+
 
 class TestDistributedExecution:
     def test_results_identical_to_local(self, rng):
@@ -129,3 +170,273 @@ class TestDistributedExecution:
             for h in [expr.hop] + expr.hop.inputs
             if h.is_matrix or h.inputs
         )
+
+
+class TestBlockedDataflow:
+    """Distributed intermediates stay partitioned across instructions."""
+
+    def test_chained_spark_instructions_stay_blocked(self, rng):
+        data = rng.random((5000, 20))
+        engine = Engine(mode="base", config=_cluster_config())
+        x = api.matrix(data, "X")
+        expr = ((x * 2.0) + 1.0).row_sums()
+        program = engine.compile([expr.hop])
+        opcodes = [i.opcode for i in program.instructions]
+        # Exactly one collect: at the program root, not between the
+        # three chained SPARK instructions.
+        assert opcodes.count("collect") == 1
+        assert opcodes[-1] == "collect"
+        (result,) = engine.executor.run(program)
+        np.testing.assert_allclose(
+            result.to_dense(),
+            (data * 2.0 + 1.0).sum(axis=1, keepdims=True),
+        )
+        stats = engine.stats
+        # X partitioned once; both downstream instructions consumed the
+        # partitioned value directly (partition identity preserved).
+        assert stats.n_partitioned == 1
+        assert stats.n_blocked_passthrough == 2
+        assert stats.n_collects == 1
+
+    def test_collect_inserted_at_exec_type_boundary(self, rng):
+        data = rng.random((5000, 20))
+        engine = Engine(mode="base", config=_cluster_config())
+        x = api.matrix(data, "X")
+        # row_sums is SPARK (reads X), the final sum over the 5000x1
+        # vector fits the driver budget -> CP consumer needs a collect.
+        expr = (x * 2.0).row_sums().sum()
+        program = engine.compile([expr.hop])
+        collects = [i for i in program.instructions if i.opcode == "collect"]
+        assert len(collects) == 1
+        (result,) = engine.executor.run(program)
+        assert result == pytest.approx(float((data * 2.0).sum()))
+        assert engine.stats.n_collects == 1
+
+    def test_full_agg_uses_tree_reduce(self, rng):
+        data = rng.random((5000, 20))
+        engine = Engine(mode="base", config=_cluster_config())
+        result = api.eval((api.matrix(data, "X") * 2.0).sum(), engine=engine)
+        assert result == pytest.approx(float((data * 2.0).sum()))
+        assert engine.stats.n_tree_reduces >= 1
+
+    @pytest.mark.parametrize(
+        "build, expected",
+        [
+            (lambda x: x.mean(), lambda a: a.mean()),
+            (lambda x: x.col_sums(), lambda a: a.sum(axis=0, keepdims=True)),
+            (lambda x: x.col_mins(), lambda a: a.min(axis=0, keepdims=True)),
+            (lambda x: x.max(), lambda a: a.max()),
+        ],
+    )
+    def test_reduce_aggregations_match_local(self, rng, build, expected):
+        data = rng.random((5000, 20))
+        engine = Engine(mode="base", config=_cluster_config())
+        result = api.eval(build(api.matrix(data, "X")), engine=engine)
+        want = expected(data)
+        if isinstance(result, MatrixBlock):
+            np.testing.assert_allclose(result.to_dense(), want, rtol=1e-12)
+        else:
+            assert result == pytest.approx(float(want))
+        assert engine.stats.n_distributed_ops >= 1
+
+    def test_blocked_spoof_chain(self, rng):
+        """Generated operators consume and produce blocked values."""
+        data = rng.random((5000, 30))
+        engine = Engine(mode="gen", config=_cluster_config())
+        x = api.matrix(data, "X")
+        result = api.eval(
+            ((x * 2.0 + 1.0) * (x - 0.5)).row_sums(), engine=engine
+        )
+        np.testing.assert_allclose(
+            result.to_dense(),
+            ((data * 2.0 + 1.0) * (data - 0.5)).sum(axis=1, keepdims=True),
+            rtol=1e-9,
+        )
+        assert engine.stats.n_collects >= 1
+
+
+class TestLineageCache:
+    """The RDD cache keys by lineage, never by value identity."""
+
+    def _run_workload(self):
+        """Multi-statement program over eagerly freed intermediates:
+        fresh blocks are allocated per statement, so an id()-keyed
+        cache would produce nondeterministic hits on reused addresses."""
+        engine = Engine(mode="base", config=_cluster_config())
+        rng = np.random.default_rng(11)
+        for _ in range(6):
+            data = rng.random((5000, 20))
+            x = api.matrix(data, "X")
+            api.eval_all(
+                [((x * 2.0) + 1.0).sum(), (x * 3.0).row_sums().sum()],
+                engine=engine,
+            )
+        return engine.stats.sim_seconds
+
+    def test_sim_seconds_deterministic_across_engines(self):
+        # Regression: with id()-keyed caching, eager freeing plus
+        # CPython address reuse produced spurious cache hits and
+        # run-dependent sim_seconds.
+        first = self._run_workload()
+        second = self._run_workload()
+        assert first == second
+
+    def test_input_cache_hits_across_programs(self, rng):
+        data = rng.random((5000, 20))
+        x_block = MatrixBlock(data)
+        engine = Engine(mode="base", config=_cluster_config())
+        api.eval((api.matrix(x_block, "X") * 2.0).sum(), engine=engine)
+        assert engine.stats.n_rdd_cache_hits == 0
+        # Second program re-binds the same input block: cached read.
+        api.eval((api.matrix(x_block, "X") * 3.0).sum(), engine=engine)
+        assert engine.stats.n_rdd_cache_hits >= 1
+
+    def test_identity_guard_rejects_aliased_block(self, rng):
+        from repro.config import ClusterConfig
+        from repro.runtime.distributed import SparkExecutor
+        from repro.runtime.stats import RuntimeStats
+
+        stats = RuntimeStats()
+        spark = SparkExecutor(ClusterConfig(), CodegenConfig(), stats)
+        block = MatrixBlock(rng.random((10, 10)))
+        key = ("data", 12345)
+        spark._cache_put(key, block.size_bytes, value=block)
+        assert spark._is_cached(key, block)
+        # A different object under the same identity key (the aliasing
+        # scenario: freed block, reused address) must MISS and evict.
+        impostor = MatrixBlock(rng.random((10, 10)))
+        assert not spark._is_cached(key, impostor)
+        assert key not in spark._cache
+
+    def test_dead_lineages_do_not_starve_live_inputs(self, rng):
+        # Regression: dead per-program entries used to pin the modeled
+        # aggregate memory until _cache_put rejected every new entry,
+        # silently disabling the cache for long-running engines.
+        config = CodegenConfig(
+            cluster=ClusterConfig(executor_mem=2e6), local_mem_budget=1e5
+        )
+        engine = Engine(mode="base", config=config)
+        for _ in range(12):  # throwaway inputs saturate aggregate_mem
+            throwaway = rng.random((5000, 20))
+            api.eval((api.matrix(throwaway, "T") * 2.0).sum(), engine=engine)
+        hot = MatrixBlock(rng.random((5000, 20)))
+        before = engine.stats.n_rdd_cache_hits
+        for _ in range(5):
+            api.eval((api.matrix(hot, "X") * 2.0).sum(), engine=engine)
+        assert engine.stats.n_rdd_cache_hits - before >= 4
+
+    def test_broadcast_pressure_eviction_is_counted(self, rng):
+        data = rng.random((5000, 20))
+        side = rng.random((5000, 1))
+        config = _cluster_config(executor_mem=2e5)  # tiny aggregate memory
+        engine = Engine(mode="base", config=config)
+        x = api.matrix(data, "X")
+        s = api.matrix(side, "s")
+        api.eval(((x * s) + s).sum(), engine=engine)
+        assert engine.stats.n_rdd_cache_evictions >= 1
+
+
+SPARK_ALGO_MODES = ["base", "gen", "gen-fa"]
+
+
+class TestDistributedAlgorithms:
+    """Spark-mode execution is numerically equivalent to local for all
+    six algorithms of the paper's evaluation."""
+
+    @staticmethod
+    def _spark_engine(mode="gen"):
+        return Engine(
+            mode=mode,
+            config=CodegenConfig(
+                cluster=ClusterConfig(n_workers=4, executor_mem=10e6),
+                local_mem_budget=2e4,
+            ),
+        )
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        from repro.data import generators
+
+        return generators.classification_data(400, 12, n_classes=2, seed=1)
+
+    @pytest.mark.parametrize("mode", SPARK_ALGO_MODES)
+    def test_l2svm(self, data, mode):
+        from repro.algorithms import l2svm
+
+        x, y = data
+        ref = l2svm(x, y, engine=Engine(mode="base"), max_iter=3)
+        got = l2svm(x, y, engine=self._spark_engine(mode), max_iter=3)
+        np.testing.assert_allclose(
+            got.model["w"].to_dense(), ref.model["w"].to_dense(),
+            rtol=1e-6, atol=1e-9,
+        )
+
+    def test_mlogreg(self, data):
+        from repro.algorithms import mlogreg
+
+        x, y = data
+        labels = (y.to_dense() + 3) / 2
+        ref = mlogreg(x, labels, 2, engine=Engine(mode="base"),
+                      max_iter=2, max_inner=3)
+        got = mlogreg(x, labels, 2, engine=self._spark_engine(),
+                      max_iter=2, max_inner=3)
+        np.testing.assert_allclose(
+            got.model["beta"].to_dense(), ref.model["beta"].to_dense(),
+            rtol=1e-6, atol=1e-9,
+        )
+
+    def test_glm(self, data):
+        from repro.algorithms import glm_binomial_probit
+
+        x, y = data
+        yb = (y.to_dense() + 1) / 2
+        ref = glm_binomial_probit(x, yb, engine=Engine(mode="base"),
+                                  max_iter=2, max_inner=3)
+        got = glm_binomial_probit(x, yb, engine=self._spark_engine(),
+                                  max_iter=2, max_inner=3)
+        np.testing.assert_allclose(
+            got.model["beta"].to_dense(), ref.model["beta"].to_dense(),
+            rtol=1e-6, atol=1e-9,
+        )
+
+    def test_kmeans(self, data):
+        from repro.algorithms import kmeans
+
+        x, _ = data
+        ref = kmeans(x, n_centroids=4, engine=Engine(mode="base"),
+                     max_iter=3, seed=5)
+        got = kmeans(x, n_centroids=4, engine=self._spark_engine(),
+                     max_iter=3, seed=5)
+        np.testing.assert_allclose(
+            got.model["centroids"].to_dense(),
+            ref.model["centroids"].to_dense(),
+            rtol=1e-6, atol=1e-9,
+        )
+
+    def test_als_cg(self):
+        from repro.algorithms import als_cg
+
+        x = MatrixBlock.rand(300, 40, sparsity=0.1, seed=9,
+                             low=0.2, high=1.0)
+        ref = als_cg(x, rank=4, engine=Engine(mode="base"), max_iter=2)
+        got = als_cg(x, rank=4, engine=self._spark_engine(), max_iter=2)
+        for factor in ("U", "V"):
+            np.testing.assert_allclose(
+                got.model[factor].to_dense(), ref.model[factor].to_dense(),
+                rtol=1e-6, atol=1e-9,
+            )
+
+    def test_autoencoder(self):
+        from repro.algorithms import autoencoder
+        from repro.data import generators
+
+        x = generators.mnist_like(rows=600, seed=3)
+        ref = autoencoder(x, h1=16, h2=2, engine=Engine(mode="base"),
+                          batch_size=256, n_epochs=1)
+        got = autoencoder(x, h1=16, h2=2, engine=self._spark_engine(),
+                          batch_size=256, n_epochs=1)
+        np.testing.assert_allclose(
+            got.model["W1"].to_dense(), ref.model["W1"].to_dense(),
+            rtol=1e-6, atol=1e-9,
+        )
+        np.testing.assert_allclose(ref.losses, got.losses, rtol=1e-6)

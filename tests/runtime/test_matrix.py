@@ -67,6 +67,30 @@ class TestRand:
         b = MatrixBlock.rand(10, 10, seed=42)
         assert a.allclose(b)
 
+    def test_sparse_rand_symmetric_range_stays_in_range(self):
+        # Regression: the explicit-zero replacement used to inject 1.0
+        # (outside [low, high)) whenever the midpoint was 0.0.
+        for seed in range(8):
+            block = MatrixBlock.rand(
+                200, 50, sparsity=0.1, low=-0.5, high=0.5, seed=seed
+            )
+            data = block.to_csr().data
+            assert data.size == 0 or (
+                data.min() >= -0.5 and data.max() < 0.5
+            )
+            assert not np.any(data == 0.0)
+
+    def test_sparse_rand_nnz_contract(self):
+        # The requested sparsity fixes the stored-value count exactly;
+        # no stored value may be an explicit zero.
+        block = MatrixBlock.rand(
+            100, 40, sparsity=0.2, low=-1.0, high=3.0, seed=3
+        )
+        csr = block.to_csr()
+        assert csr.nnz == round(0.2 * 100 * 40)
+        assert block.nnz == csr.nnz  # no explicit zeros among stored
+        assert csr.data.min() >= -1.0 and csr.data.max() < 3.0
+
 
 class TestRepresentation:
     def test_examine_densifies_dense_content(self):
