@@ -1,0 +1,239 @@
+"""Serving throughput: cold vs warm plan reuse under concurrent clients.
+
+The serving subsystem exists to amortize the compile pipeline across
+repeated requests (the paper's plan-cache motivation, Section 2.1 /
+Figure 11, lifted to whole programs).  This benchmark measures
+requests/sec for a scoring script at 1/4/8 client threads under two
+regimes:
+
+* **cold** — every request pays the full pipeline: a fresh engine and
+  prepared program per request (no plan cache, no specializations),
+* **warm** — one shared engine + ``SessionScheduler``: after the first
+  request, every bind is a specialization-cache hit and rewrites /
+  codegen / lowering are skipped entirely.
+
+Reported per regime: wall-clock, requests/sec, and the per-request
+compile overhead (pipeline pass seconds) — the warm path must cut the
+cold per-request compile overhead by >= 5x, and concurrent warm results
+must be identical to serial execution of the same prepared program.
+
+Run directly (writes JSON when ``REPRO_BENCH_JSON`` is set)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+
+or via pytest (``REPRO_BENCH_QUICK=1`` trims the grid)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.py
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchResult, maybe_export_json, print_table
+from repro.compiler.execution import Engine
+from repro.serve import SessionScheduler
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+ROWS, COLS = (128, 32) if QUICK else (256, 64)
+REQUESTS_PER_CLIENT = 4 if QUICK else 8
+CLIENT_COUNTS = [1, 8] if QUICK else [1, 4, 8]
+
+SCRIPT = """
+input X, w
+margin = X %*% w
+prob = 1 / (1 + exp(0 - margin))
+hinge = max(1 - margin, 0)
+"""
+
+_CACHE: dict = {}
+
+
+def _data():
+    if not _CACHE:
+        rng = np.random.default_rng(47)
+        _CACHE["w"] = rng.random((COLS, 1))
+        _CACHE["xs"] = [
+            rng.random((ROWS, COLS)) for _ in range(8 * REQUESTS_PER_CLIENT)
+        ]
+    return _CACHE
+
+
+def _compile_overhead(engine: Engine) -> float:
+    """Total compile-pipeline seconds recorded by an engine."""
+    return sum(engine.stats.pipeline_pass_seconds.values())
+
+
+def run_cold(n_clients: int) -> dict:
+    """Every request compiles from scratch (fresh engine + prepared)."""
+    data = _data()
+    n_requests = n_clients * REQUESTS_PER_CLIENT
+    overhead = [0.0] * n_clients
+
+    def client(index):
+        for request in range(REQUESTS_PER_CLIENT):
+            engine = Engine(mode="gen")
+            prepared = engine.prepare_script(SCRIPT, name="score")
+            x = data["xs"][index * REQUESTS_PER_CLIENT + request]
+            prepared.run({"X": x, "w": data["w"]})
+            overhead[index] += _compile_overhead(engine)
+            engine.close()
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "requests_per_sec": n_requests / elapsed,
+        "compile_overhead_per_request": sum(overhead) / n_requests,
+    }
+
+
+def run_warm(n_clients: int) -> dict:
+    """Shared engine + scheduler; requests hit the specialization cache."""
+    data = _data()
+    n_requests = n_clients * REQUESTS_PER_CLIENT
+    engine = Engine(mode="gen")
+    prepared = engine.prepare_script(SCRIPT, name="score")
+    # Warmup: compile the single (ROWS x COLS) specialization once.
+    prepared.run({"X": data["xs"][0], "w": data["w"]})
+    overhead_before = _compile_overhead(engine)
+
+    results: dict[int, object] = {}
+    with SessionScheduler(engine, n_workers=min(4, n_clients)) as server:
+        def client(index):
+            tickets = []
+            for request in range(REQUESTS_PER_CLIENT):
+                x = data["xs"][index * REQUESTS_PER_CLIENT + request]
+                tickets.append(
+                    (index * REQUESTS_PER_CLIENT + request,
+                     server.submit(prepared, {"X": x, "w": data["w"]}))
+                )
+            for key, ticket in tickets:
+                results[key] = ticket.result(120)
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        summary = server.serving_summary()
+    overhead_delta = _compile_overhead(engine) - overhead_before
+    engine.close()
+    return {
+        "seconds": elapsed,
+        "requests_per_sec": n_requests / elapsed,
+        "compile_overhead_per_request": overhead_delta / n_requests,
+        "serving_summary": summary,
+        "results": results,
+        "prepared": prepared,
+    }
+
+
+def serial_reference(prepared, n_requests: int) -> dict[int, object]:
+    """The same requests through the same prepared program, serially."""
+    data = _data()
+    return {
+        index: prepared.run({"X": data["xs"][index], "w": data["w"]})
+        for index in range(n_requests)
+    }
+
+
+def run(client_counts=None) -> list[BenchResult]:
+    rows = []
+    for n_clients in client_counts or CLIENT_COUNTS:
+        cold = run_cold(n_clients)
+        warm = run_warm(n_clients)
+        result = BenchResult(label=f"{n_clients} client(s)")
+        result.seconds["cold"] = cold["seconds"]
+        result.seconds["warm"] = warm["seconds"]
+        result.stats = {
+            "cold_rps": cold["requests_per_sec"],
+            "warm_rps": warm["requests_per_sec"],
+            "cold_compile_per_request": cold["compile_overhead_per_request"],
+            "warm_compile_per_request": warm["compile_overhead_per_request"],
+            "serving": warm["serving_summary"],
+        }
+        rows.append(result)
+    return rows
+
+
+@pytest.mark.bench
+def test_warm_serving_amortizes_compilation(benchmark):
+    """Acceptance: warm serving cuts per-request compile overhead >= 5x
+    at 8 concurrent clients, with results identical to serial."""
+    data = _data()
+    cold = run_cold(8)
+    holder = {}
+
+    def measured():
+        holder.update(run_warm(8))
+
+    benchmark.pedantic(measured, rounds=1, iterations=1, warmup_rounds=0)
+    warm = holder
+
+    reduction = cold["compile_overhead_per_request"] / max(
+        warm["compile_overhead_per_request"], 1e-12
+    )
+    assert reduction >= 5.0, (
+        f"warm compile overhead only {reduction:.1f}x below cold"
+    )
+    # Warm binds never re-entered the compile pipeline.
+    assert warm["compile_overhead_per_request"] == 0.0
+    assert warm["serving_summary"]["n_specialization_misses"] <= 1
+
+    # Concurrent warm results are identical to serial execution.
+    reference = serial_reference(warm["prepared"], 8 * REQUESTS_PER_CLIENT)
+    assert set(warm["results"]) == set(reference)
+    for index, served in warm["results"].items():
+        expected = reference[index]
+        for name in ("margin", "prob", "hinge"):
+            assert np.array_equal(
+                served[name].to_dense(), expected[name].to_dense()
+            ), f"request {index} output {name} diverged from serial"
+
+
+def main() -> None:
+    results = run()
+    print_table("Serving throughput: cold vs warm plan reuse",
+                ["cold", "warm"], results)
+    print(f"\n{'clients':<12}{'cold rps':>10}{'warm rps':>10}"
+          f"{'cold compile/req':>18}{'warm compile/req':>18}")
+    for result in results:
+        stats = result.stats
+        print(f"{result.label:<12}{stats['cold_rps']:>10.1f}"
+              f"{stats['warm_rps']:>10.1f}"
+              f"{stats['cold_compile_per_request']*1e3:>16.2f}ms"
+              f"{stats['warm_compile_per_request']*1e3:>16.2f}ms")
+    last = results[-1].stats
+    reduction = last["cold_compile_per_request"] / max(
+        last["warm_compile_per_request"], 1e-12
+    )
+    print(f"\nper-request compile overhead reduction (warm vs cold): "
+          f">= {min(reduction, 1e6):.0f}x")
+    print(f"serving summary: {last['serving']}")
+    path = maybe_export_json(
+        "serving_throughput", results,
+        extra={"rows": ROWS, "cols": COLS,
+               "requests_per_client": REQUESTS_PER_CLIENT},
+    )
+    if path:
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

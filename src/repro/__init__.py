@@ -9,7 +9,9 @@ Public entry points:
 * :class:`repro.compiler.execution.Engine` -- execution engines
   (``base``, ``fused``, ``gen``, ``gen-fa``, ``gen-fnr``),
 * :mod:`repro.algorithms` -- the six ML algorithms of the evaluation,
-* :mod:`repro.data.generators` -- synthetic datasets and stand-ins.
+* :mod:`repro.data.generators` -- synthetic datasets and stand-ins,
+* :mod:`repro.serve` -- prepared programs with shape-specialized plan
+  reuse and a concurrent request scheduler.
 """
 
 from repro.config import CodegenConfig, ClusterConfig, DEFAULT_CONFIG

@@ -330,10 +330,26 @@ def eval_all(exprs: Iterable[Mat], engine=None) -> list:
 
     Grouped evaluation mirrors a SystemML statement block: common
     subexpressions are shared and multi-aggregate fusion can apply.
+    Without an explicit ``engine`` the process-wide shared ``base``
+    engine is used, so repeated calls keep their caches warm.
     """
     expr_list = list(exprs)
     if engine is None:
-        from repro.compiler.execution import Engine
+        from repro.compiler.execution import shared_engine
 
-        engine = Engine(mode="base")
+        engine = shared_engine("base")
     return engine.execute([e.hop for e in expr_list])
+
+
+def prepare(builder, engine=None, name: str = "prepared",
+            batch_inputs: tuple = ()):
+    """Prepare an expression builder for repeated (served) evaluation.
+
+    ``builder`` receives a dict of named input placeholders and returns
+    the output expression(s); see :mod:`repro.serve`.
+    """
+    if engine is None:
+        from repro.compiler.execution import shared_engine
+
+        engine = shared_engine("gen")
+    return engine.prepare(builder, name=name, batch_inputs=batch_inputs)

@@ -9,6 +9,12 @@ javac comparison (Figure 11):
 * ``exec``: in-memory ``compile()`` + ``exec()`` (the fast janino path),
 * ``file``: write the source to disk, byte-compile it, and import it as
   a module (the heavyweight javac path).
+
+The cache is thread-safe: a serving scheduler shares one cache across
+concurrent request compilations.  Lookup/insert run under a single
+lock, and a concurrent miss on the same key compiles exactly once —
+later threads wait on the first thread's in-flight compilation instead
+of duplicating it.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import os
 import py_compile
 import sys
 import tempfile
+import threading
 import time
 
 from repro.codegen.cplan import CPlan
@@ -26,45 +33,94 @@ from repro.errors import CodegenError
 
 
 class PlanCache:
-    """CPlan-hash -> compiled operator cache."""
+    """CPlan-hash -> compiled operator cache (thread-safe)."""
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._cache: dict[str, GeneratedOperator] = {}
+        self._lock = threading.Lock()
+        # key -> Event set once the owning thread finished compiling.
+        self._building: dict[str, threading.Event] = {}
         self.hits = 0
         self.lookups = 0
+
+    @property
+    def size(self) -> int:
+        """Number of cached operators."""
+        with self._lock:
+            return len(self._cache)
 
     def clear(self) -> None:
-        self._cache.clear()
-        self.hits = 0
-        self.lookups = 0
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.lookups = 0
+
+    def _record(self, stats, **deltas) -> None:
+        """Apply counter deltas to an engine stats object (locked)."""
+        if stats is None:
+            return
+        with stats.lock:
+            for name, delta in deltas.items():
+                setattr(stats, name, getattr(stats, name) + delta)
+            stats.plan_cache_size = max(
+                stats.plan_cache_size, len(self._cache)
+            )
 
     def get_or_compile(self, cplan: CPlan, config, stats=None) -> GeneratedOperator:
-        """Return a compiled operator, reusing cached equivalents."""
-        key = cplan.semantic_hash()
-        self.lookups += 1
-        if stats is not None:
-            stats.plan_cache_lookups += 1
-        if self.enabled and key in self._cache:
-            self.hits += 1
-            if stats is not None:
-                stats.plan_cache_hits += 1
-            return self._cache[key]
-        start = time.perf_counter()
-        name, source = generate_source(cplan, config.inline_primitives)
-        gen_elapsed = time.perf_counter() - start
+        """Return a compiled operator, reusing cached equivalents.
 
-        start = time.perf_counter()
-        genexec = compile_operator(name, source, config.compiler)
-        compile_elapsed = time.perf_counter() - start
+        On a concurrent miss for the same key only one thread compiles;
+        the others block until the operator lands in the cache.
+        """
+        key = cplan.semantic_hash()
+        with self._lock:
+            self.lookups += 1
+        self._record(stats, plan_cache_lookups=1)
+        while True:
+            with self._lock:
+                if self.enabled and key in self._cache:
+                    self.hits += 1
+                    operator = self._cache[key]
+                    self._record(stats, plan_cache_hits=1)
+                    return operator
+                event = self._building.get(key)
+                if event is None:
+                    if self.enabled:
+                        self._building[key] = threading.Event()
+                    break  # this thread owns the compilation
+            # Another thread is compiling this key: wait, then re-check
+            # (a hit if it succeeded; ownership if it failed).
+            event.wait()
+
+        try:
+            start = time.perf_counter()
+            name, source = generate_source(cplan, config.inline_primitives)
+            gen_elapsed = time.perf_counter() - start
+
+            start = time.perf_counter()
+            genexec = compile_operator(name, source, config.compiler)
+            compile_elapsed = time.perf_counter() - start
+        except BaseException:
+            with self._lock:
+                failed = self._building.pop(key, None)
+            if failed is not None:
+                failed.set()
+            raise
 
         operator = GeneratedOperator(name, cplan, source, genexec)
-        if self.enabled:
-            self._cache[key] = operator
-        if stats is not None:
-            stats.n_classes_compiled += 1
-            stats.codegen_seconds += gen_elapsed + compile_elapsed
-            stats.class_compile_seconds += compile_elapsed
+        with self._lock:
+            if self.enabled:
+                self._cache[key] = operator
+            finished = self._building.pop(key, None)
+        if finished is not None:
+            finished.set()
+        self._record(
+            stats,
+            n_classes_compiled=1,
+            codegen_seconds=gen_elapsed + compile_elapsed,
+            class_compile_seconds=compile_elapsed,
+        )
         return operator
 
 

@@ -24,10 +24,20 @@
 An engine owns a plan cache and runtime statistics; every ``execute``
 call plays the role of one statement-block compilation (including
 dynamic recompilation, since DAGs are rebuilt per iteration while
-generated operators are reused through the plan cache).
+generated operators are reused through the plan cache).  Engines are
+thread-safe: compilations serialize on the context's compile lock while
+runtime execution overlaps, which is what the serving subsystem
+(:mod:`repro.serve`) builds on.
+
+:func:`shared_engine` hands out one long-lived engine per mode, so
+interpreter entry points (``run_script``, ``api.eval``) that are called
+without an explicit engine reuse warm plan caches instead of paying the
+full compile pipeline on every call.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.compiler.pipeline import (
     MODE_POLICIES,
@@ -42,6 +52,24 @@ from repro.runtime.distributed import SparkExecutor
 from repro.runtime.executor import ProgramExecutor
 
 _MODES = tuple(MODE_POLICIES)
+
+_shared_engines: dict[str, "Engine"] = {}
+_shared_engines_lock = threading.Lock()
+
+
+def shared_engine(mode: str = "gen") -> "Engine":
+    """A process-wide engine for ``mode``, created on first use.
+
+    Callers that do not manage an engine themselves (``run_script``
+    without an ``engine=``, bare ``api.eval``) share these instances so
+    repeated invocations hit warm plan and specialization caches.
+    """
+    with _shared_engines_lock:
+        engine = _shared_engines.get(mode)
+        if engine is None:
+            engine = Engine(mode=mode)
+            _shared_engines[mode] = engine
+        return engine
 
 
 class Engine:
@@ -79,6 +107,32 @@ class Engine:
         """Compile and execute a multi-root DAG; returns root values."""
         program = self.compile(roots)
         return self.executor.run(program)
+
+    # ------------------------------------------------------------------
+    # Serving entry points (thin delegates into repro.serve).
+    # ------------------------------------------------------------------
+    def prepare(self, builder, name: str = "prepared",
+                batch_inputs: tuple = (), **options):
+        """Prepare an expression builder for repeated serving.
+
+        ``builder`` receives a dict of named input placeholders
+        (:class:`~repro.api.Mat`) and returns the output expression(s).
+        Returns a :class:`~repro.serve.PreparedProgram` whose lowered
+        plans are cached per input-shape signature.
+        """
+        from repro.serve import PreparedProgram
+
+        return PreparedProgram(self, builder, name=name,
+                               batch_inputs=tuple(batch_inputs), **options)
+
+    def prepare_script(self, source: str, name: str = "script",
+                       batch_inputs: tuple = (), **options):
+        """Prepare a parameterized script (declared ``input`` slots)."""
+        from repro.serve import PreparedProgram
+
+        return PreparedProgram.from_script(self, source, name=name,
+                                           batch_inputs=tuple(batch_inputs),
+                                           **options)
 
     def close(self) -> None:
         """Release the executor's thread pool (idempotent)."""

@@ -18,6 +18,7 @@ Pass order notes:
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.codegen.optimizer import CodegenOptimizer
@@ -56,6 +57,12 @@ class CompilationContext:
         self.stats = stats or RuntimeStats()
         self.plan_cache = plan_cache or PlanCache(config.plan_cache_enabled)
         self.optimizer = CodegenOptimizer(config, self.plan_cache, self.stats)
+        # Serializes compilations through this context: the rewrite /
+        # codegen passes mutate shared optimizer and stats state, so
+        # concurrent serving requests compile one at a time (runtime
+        # execution overlaps freely).  Reentrant so a compile hook may
+        # trigger a nested recompilation.
+        self.lock = threading.RLock()
 
 
 class CompilerPass:
@@ -134,19 +141,25 @@ def run_passes(roots: list[Hop], passes: list[CompilerPass],
 
 def compile_program(roots: list[Hop], ctx: CompilationContext,
                     passes: list[CompilerPass] | None = None):
-    """Front half + lowering: HOP roots to a runtime ``Program``."""
+    """Front half + lowering: HOP roots to a runtime ``Program``.
+
+    Thread-safe: the whole pipeline runs under the context's compile
+    lock, so engines and prepared-program specializations sharing one
+    context (plan cache, optimizer, stats) never interleave passes.
+    """
     from repro.compiler.program import lower_program
 
-    if passes is None:
-        passes = build_pipeline(ctx.mode)
-    roots = run_passes(roots, passes, ctx)
-    start = time.perf_counter()
-    program = lower_program(
-        roots, ctx.mode, distributed=ctx.config.cluster is not None
-    )
-    elapsed = time.perf_counter() - start
-    seconds = ctx.stats.pipeline_pass_seconds
-    seconds["lowering"] = seconds.get("lowering", 0.0) + elapsed
-    ctx.stats.n_programs_compiled += 1
-    ctx.stats.n_instructions_lowered += program.n_instructions
-    return program
+    with ctx.lock:
+        if passes is None:
+            passes = build_pipeline(ctx.mode)
+        roots = run_passes(roots, passes, ctx)
+        start = time.perf_counter()
+        program = lower_program(
+            roots, ctx.mode, distributed=ctx.config.cluster is not None
+        )
+        elapsed = time.perf_counter() - start
+        seconds = ctx.stats.pipeline_pass_seconds
+        seconds["lowering"] = seconds.get("lowering", 0.0) + elapsed
+        ctx.stats.n_programs_compiled += 1
+        ctx.stats.n_instructions_lowered += program.n_instructions
+        return program

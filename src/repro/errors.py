@@ -23,3 +23,15 @@ class CodegenError(ReproError):
 
 class RuntimeExecError(ReproError):
     """Runtime execution of a plan failed."""
+
+
+class ServingError(ReproError):
+    """Preparing, binding, or scheduling a served program failed."""
+
+
+class UnbatchableProgramError(ServingError):
+    """A prepared program's outputs can never be split per request.
+
+    A *structural* property of the program (not of one request), so
+    schedulers may stop attempting micro-batching for it permanently.
+    """

@@ -61,6 +61,13 @@ class Stmt:
 
 
 @dataclass
+class InputDecl(Stmt):
+    """``input X, y`` — declares externally bound (served) inputs."""
+
+    names: list[str]
+
+
+@dataclass
 class Assign(Stmt):
     name: str
     value: Expr
@@ -95,3 +102,12 @@ class For(Stmt):
 @dataclass
 class Script:
     body: list[Stmt]
+
+
+def declared_inputs(script: Script) -> tuple[str, ...]:
+    """All names declared by top-level ``input`` statements, in order."""
+    names: list[str] = []
+    for stmt in script.body:
+        if isinstance(stmt, InputDecl):
+            names.extend(n for n in stmt.names if n not in names)
+    return tuple(names)

@@ -30,11 +30,15 @@ def run_script(source: str, inputs: dict | None = None, engine=None) -> dict:
     ``inputs`` maps variable names to numpy arrays / MatrixBlocks /
     floats.  Matrix results come back as MatrixBlocks, scalars as
     floats.
+
+    Without an explicit ``engine`` the process-wide shared engine is
+    used, so repeated interpreter calls reuse warm plan and operator
+    caches instead of paying a fresh compile pipeline per call.
     """
     if engine is None:
-        from repro.compiler.execution import Engine
+        from repro.compiler.execution import shared_engine
 
-        engine = Engine(mode="gen")
+        engine = shared_engine("gen")
     interp = Interpreter(engine)
     for name, value in (inputs or {}).items():
         interp.bind(name, value)
@@ -80,6 +84,13 @@ class Interpreter:
             return
         if isinstance(node, A.Assign):
             self.env[node.name] = self.compile_expr(node.value)
+            return
+        if isinstance(node, A.InputDecl):
+            missing = [n for n in node.names if n not in self.env]
+            if missing:
+                raise LanguageError(
+                    f"declared input(s) not bound: {missing}"
+                )
             return
         if isinstance(node, A.ExprStmt):
             self.compile_expr(node.value)
@@ -286,4 +297,61 @@ class Interpreter:
         return api.matrix(
             MatrixBlock.rand(rows, cols, sparsity=sparsity, low=low, high=high, seed=seed),
             name="rand",
+        )
+
+
+class TracingInterpreter(Interpreter):
+    """Symbolic interpreter used to prepare scripts for serving.
+
+    Nothing executes: statements accumulate into one lazy multi-root
+    DAG over the (symbolic) input slots.  Control flow that resolves
+    from scalar values unrolls into the trace; anything that would need
+    matrix data at trace time raises ``ServingError`` — such scripts
+    must run through the regular interpreter instead.
+
+    ``dim_reads`` records symbolic inputs whose dimensions leaked into
+    trace-time scalars (``nrow``/``ncol``): such scalars bake the
+    traced shape into the plan, so a stacked micro-batch would bake the
+    *stacked* row count — the serving layer refuses to batch those.
+    """
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self.dim_reads: set[str] = set()
+
+    def _call(self, expr):
+        if expr.name in ("nrow", "ncol"):
+            target = self.compile_expr(expr.args[0])
+            if isinstance(target, api.Mat):
+                from repro.hops.hop import collect_dag
+                from repro.serve.symbolic import SymbolicBlock
+
+                for hop in collect_dag([target.hop]):
+                    if isinstance(hop, DataOp) and isinstance(
+                            hop.data, SymbolicBlock):
+                        self.dim_reads.add(hop.data.name)
+        return super()._call(expr)
+
+    def flush(self, extra: list[api.Mat] | None = None) -> list:
+        from repro.errors import ServingError
+
+        if extra:
+            raise ServingError(
+                "prepared scripts cannot force matrix values at compile "
+                "time (as.scalar over a matrix expression)"
+            )
+        # Statement-block boundaries (loop iterations) stay lazy: the
+        # whole script lowers into a single prepared Program.
+        return []
+
+    def force_scalar(self, value) -> float:
+        from repro.errors import ServingError
+
+        if isinstance(value, float):
+            return value
+        if isinstance(value.hop, LiteralOp):
+            return value.hop.value
+        raise ServingError(
+            "prepared scripts cannot branch on matrix data; conditions "
+            "and bounds must resolve from scalar inputs"
         )

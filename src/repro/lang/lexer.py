@@ -6,7 +6,10 @@ from dataclasses import dataclass
 
 from repro.errors import LanguageError
 
-KEYWORDS = {"if", "else", "while", "for", "in", "function", "return", "TRUE", "FALSE"}
+KEYWORDS = {
+    "if", "else", "while", "for", "in", "function", "return",
+    "input", "TRUE", "FALSE",
+}
 
 # Multi-character operators first (maximal munch).
 OPERATORS = [

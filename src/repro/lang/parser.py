@@ -30,6 +30,7 @@ from repro.lang.ast import (
     For,
     If,
     Index,
+    InputDecl,
     Num,
     Script,
     Stmt,
@@ -95,11 +96,21 @@ class _Parser:
             return self.parse_while()
         if token.kind == "kw" and token.text == "for":
             return self.parse_for()
+        if token.kind == "kw" and token.text == "input":
+            return self.parse_input_decl()
         if token.kind == "id" and self.peek(1).kind == "op" and self.peek(1).text in ("=", "<-"):
             name = self.advance().text
             self.advance()
             return Assign(name, self.parse_expr())
         return ExprStmt(self.parse_expr())
+
+    def parse_input_decl(self) -> InputDecl:
+        """``input X, y`` — declared external inputs (serving slots)."""
+        self.expect("kw", "input")
+        names = [self.expect("id").text]
+        while self.match("op", ","):
+            names.append(self.expect("id").text)
+        return InputDecl(names)
 
     def parse_block(self) -> list[Stmt]:
         if self.match("op", "{"):

@@ -16,10 +16,17 @@ pinned), cutting peak memory for long programs.  Scheduling counters
 (tasks launched, peak concurrency, early frees) land in
 :class:`~repro.runtime.stats.RuntimeStats`.
 
+``run`` is safe to call from several threads at once against the same
+executor (the serving scheduler multiplexes in-flight programs over one
+shared pool): every run works on its own symbol-table ``values`` array,
+records into a run-local stats object, and merges into the shared stats
+under its lock.  Per-request inputs are injected through the
+``bindings`` overlay — a prepared (shape-specialized) ``Program`` stays
+immutable and is shared by all concurrent requests.
+
 The simulated Spark backend mutates shared cost-model state, so
-programs carrying a cluster config always run serially; distributed
-instructions dispatch per-instruction via
-``SparkExecutor.execute_instruction``.
+programs carrying a cluster config always run serially and one at a
+time (a dedicated lock serializes them).
 """
 
 from __future__ import annotations
@@ -103,6 +110,9 @@ class ProgramExecutor:
         self.spark = spark
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        # Serializes runs that dispatch to the (stateful) simulated
+        # Spark backend; purely local runs may overlap freely.
+        self._spark_run_lock = threading.Lock()
         # Monotonic program counter: makes intermediate lineage keys
         # unique across the programs one engine executes.
         self._epoch = 0
@@ -120,29 +130,51 @@ class ProgramExecutor:
             self._pool = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.n_threads,
-                thread_name_prefix="repro-exec",
-            )
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_threads,
+                    thread_name_prefix="repro-exec",
+                )
+            return self._pool
 
     # ------------------------------------------------------------------
-    def run(self, program) -> list:
-        """Execute a program; returns the root slot values."""
+    def run(self, program, bindings: dict | None = None) -> list:
+        """Execute a program; returns the root slot values.
+
+        ``bindings`` maps symbol-table slots to runtime values that
+        override the program's preloaded constants — how a prepared
+        program binds per-request inputs into an isolated symbol-table
+        epoch without mutating the shared ``Program``.
+        """
         values: list = [None] * program.n_slots
         for slot, value in program.constants:
             values[slot] = value
-        self._epoch += 1
+        if bindings:
+            for slot, value in bindings.items():
+                values[slot] = value
+        with self._lock:
+            self._epoch += 1
+            epoch = self._epoch
+
         if self.spark is not None:
-            # Previous programs' intermediate lineages (and inputs whose
-            # guard died) can never be probed again — release their
-            # share of the modeled aggregate memory.
-            self.spark.prune_cache(self._epoch)
-        if self._should_parallelize(program):
-            self._run_parallel(program, values)
+            # The simulated distributed backend mutates shared cache /
+            # cost state: serialize whole runs and record directly into
+            # the shared stats (held for the duration of the run).
+            with self._spark_run_lock, self.stats.lock:
+                # Previous programs' intermediate lineages (and inputs
+                # whose guard died) can never be probed again — release
+                # their share of the modeled aggregate memory.
+                self.spark.prune_cache(epoch)
+                self._run_serial(program, values, self.stats, epoch)
+        elif self._should_parallelize(program):
+            run_stats = RuntimeStats()
+            self._run_parallel(program, values, run_stats)
+            self.stats.merge(run_stats)
         else:
-            self._run_serial(program, values)
+            run_stats = RuntimeStats()
+            self._run_serial(program, values, run_stats, epoch)
+            self.stats.merge(run_stats)
         return [self._as_root_value(values[slot])
                 for slot in program.root_slots]
 
@@ -157,7 +189,7 @@ class ProgramExecutor:
             return value.collect()
         return value
 
-    def _slot_keys(self, program) -> list:
+    def _slot_keys(self, program, epoch: int, values: list) -> list:
         """Lineage keys per symbol-table slot.
 
         Instruction outputs key by (epoch, slot) — unique for the
@@ -165,20 +197,17 @@ class ProgramExecutor:
         never alias a cache entry.  Program inputs key by data identity
         (guarded by a weakref inside the cache) so iterative workloads
         re-binding the same input block keep hitting the RDD cache
-        across programs.
+        across programs.  Bound (per-request) input overlays take part
+        through the same identity keys via the ``values`` array.
         """
-        keys = [("v", self._epoch, slot) for slot in range(program.n_slots)]
-        for slot, value in program.constants:
-            if isinstance(value, MatrixBlock):
-                keys[slot] = ("data", id(value))
+        keys = [("v", epoch, slot) for slot in range(program.n_slots)]
+        for slot, _ in program.constants:
+            if isinstance(values[slot], MatrixBlock):
+                keys[slot] = ("data", id(values[slot]))
         return keys
 
     def _should_parallelize(self, program) -> bool:
         if self.config.executor_mode != "parallel":
-            return False
-        if self.spark is not None:
-            # The simulated distributed backend mutates shared cache /
-            # cost state; keep its accounting deterministic.
             return False
         if self.n_threads < 2:
             return False
@@ -203,11 +232,14 @@ class ProgramExecutor:
                 freed += 1
         return freed
 
-    def _run_serial(self, program, values: list) -> None:
-        stats = self.stats
+    def _run_serial(self, program, values: list, stats: RuntimeStats,
+                    epoch: int) -> None:
         counts = list(program.consumer_counts)
         pinned = program.pinned
-        slot_keys = self._slot_keys(program) if self.spark is not None else None
+        slot_keys = (
+            self._slot_keys(program, epoch, values)
+            if self.spark is not None else None
+        )
         for instr in program.instructions:
             inputs = [values[slot] for slot in instr.input_slots]
             input_keys = output_key = None
@@ -229,13 +261,16 @@ class ProgramExecutor:
             )
 
     # ------------------------------------------------------------------
-    def _run_parallel(self, program, values: list) -> None:
+    def _run_parallel(self, program, values: list,
+                      run_stats: RuntimeStats) -> None:
         pool = self._ensure_pool()
         instructions = program.instructions
         counts = list(program.consumer_counts)
         pinned = program.pinned
 
-        lock = self._lock
+        # Per-run lock: concurrent runs sharing this executor must not
+        # serialize each other's dependency bookkeeping.
+        lock = threading.Lock()
         done = threading.Event()
         state = {
             "pending": {
@@ -251,7 +286,7 @@ class ProgramExecutor:
 
         def worker(instr):
             # Per-task stats keep kernel-level recording race-free; they
-            # merge into the engine stats under the scheduler lock.
+            # merge into the run stats under the scheduler lock.
             local_stats = RuntimeStats()
             with lock:
                 state["running"] += 1
@@ -278,7 +313,7 @@ class ProgramExecutor:
                 state["freed"] += self._free_dead_inputs(
                     instr, values, counts, pinned
                 )
-                self.stats.merge(local_stats)
+                run_stats.merge(local_stats)
                 for dep_index in instr.dependent_indices:
                     state["pending"][dep_index] -= 1
                     if state["pending"][dep_index] == 0:
@@ -309,14 +344,13 @@ class ProgramExecutor:
         # touch `values` under the lock, and we re-raise afterwards.
         if state["error"] is not None:
             raise state["error"]
-        stats = self.stats
-        stats.n_instructions_executed += len(instructions)
-        stats.n_parallel_tasks += state["launched"]
-        stats.executor_max_concurrency = max(
-            stats.executor_max_concurrency, state["max_running"]
+        run_stats.n_instructions_executed += len(instructions)
+        run_stats.n_parallel_tasks += state["launched"]
+        run_stats.executor_max_concurrency = max(
+            run_stats.executor_max_concurrency, state["max_running"]
         )
-        stats.n_freed_early += state["freed"]
-        stats.n_parallel_runs += 1
+        run_stats.n_freed_early += state["freed"]
+        run_stats.n_parallel_runs += 1
 
 
 def run_program(program, config: CodegenConfig,

@@ -2,11 +2,21 @@
 
 Execution engines record the bytes they materialize, the simulated
 network traffic of the distributed backend, and compilation overhead.
-The counters feed Table 3, Figure 11, and Table 6 of the reproduction.
+The counters feed Table 3, Figure 11, and Table 6 of the reproduction,
+plus the serving subsystem's per-request telemetry.
+
+Thread-safety convention: one ``RuntimeStats`` instance may be shared
+by concurrent executor runs and a serving scheduler.  Every *runtime*
+mutation of a shared instance goes through :meth:`merge` (or explicit
+increments) while holding :attr:`lock`; compile-time counters are
+protected by the engine's compilation lock, which serializes compiles.
+:meth:`merge` skips zero-valued fields, so concurrent writers touching
+disjoint counter families never race through it.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -43,6 +53,7 @@ class RuntimeStats:
     class_compile_seconds: float = 0.0
     plan_cache_hits: int = 0
     plan_cache_lookups: int = 0
+    plan_cache_size: int = 0  # gauge: entries currently cached (max-merged)
 
     # Plan enumeration (Fig 12).
     n_plans_evaluated: int = 0
@@ -63,8 +74,29 @@ class RuntimeStats:
     n_serial_runs: int = 0
     n_parallel_runs: int = 0
 
+    # Serving subsystem (prepared programs + session scheduler).
+    n_requests_served: int = 0
+    n_requests_batched: int = 0  # requests that ran inside a micro-batch
+    n_batches_executed: int = 0
+    n_batch_fallbacks: int = 0  # batches that fell back to per-request runs
+    n_specialization_hits: int = 0  # warm plan reuse: compile skipped
+    n_specialization_misses: int = 0  # cold bind: full compile pipeline ran
+    n_shape_recompiles: int = 0  # dynamic recompiles after the first bind
+    n_admission_waits: int = 0  # requests delayed by the memory budget
+    serve_queue_seconds: float = 0.0  # total time requests sat queued
+    serve_exec_seconds: float = 0.0  # total bind+execute time
+    serve_latency_seconds: float = 0.0  # total submit-to-result latency
+
     # Fused-operator executions by template name.
     spoof_executions: dict = field(default_factory=dict)
+
+    #: Gauge fields combine via max (not addition) when merging.
+    _GAUGES = ("executor_max_concurrency", "plan_cache_size")
+
+    def __post_init__(self):
+        # Reentrant: the distributed backend mutates shared stats while
+        # an executor run already holds the lock for the whole program.
+        self.lock = threading.RLock()
 
     def scheduling_summary(self) -> dict:
         """Executor scheduling counters (bench harness JSON output)."""
@@ -93,25 +125,57 @@ class RuntimeStats:
             "sim_collect_mb": self.sim_collect_bytes / 1e6,
         }
 
+    def serving_summary(self) -> dict:
+        """Per-request serving telemetry plus plan-cache health."""
+        served = max(self.n_requests_served, 1)
+        return {
+            "n_requests_served": self.n_requests_served,
+            "n_requests_batched": self.n_requests_batched,
+            "n_batches_executed": self.n_batches_executed,
+            "n_batch_fallbacks": self.n_batch_fallbacks,
+            "n_specialization_hits": self.n_specialization_hits,
+            "n_specialization_misses": self.n_specialization_misses,
+            "n_shape_recompiles": self.n_shape_recompiles,
+            "n_admission_waits": self.n_admission_waits,
+            "serve_queue_seconds": self.serve_queue_seconds,
+            "serve_exec_seconds": self.serve_exec_seconds,
+            "serve_latency_seconds": self.serve_latency_seconds,
+            "mean_latency_seconds": self.serve_latency_seconds / served,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_lookups - self.plan_cache_hits,
+            "plan_cache_size": self.plan_cache_size,
+        }
+
     def record_spoof(self, template_name: str) -> None:
         """Count one execution of a generated operator."""
         count = self.spoof_executions.get(template_name, 0)
         self.spoof_executions[template_name] = count + 1
 
     def reset(self) -> None:
-        """Zero all counters in place."""
+        """Zero all counters in place (the lock object is kept)."""
         fresh = RuntimeStats()
-        self.__dict__.update(fresh.__dict__)
+        for key, value in fresh.__dict__.items():
+            if isinstance(value, (int, float, dict)):
+                self.__dict__[key] = value
 
     def merge(self, other: "RuntimeStats") -> None:
-        """Accumulate another stats object into this one."""
-        for key, value in other.__dict__.items():
-            if isinstance(value, dict):
-                mine = getattr(self, key)
-                for name, count in value.items():
-                    mine[name] = mine.get(name, 0) + count
-            elif key == "executor_max_concurrency":
-                # Peak values combine via max, not addition.
-                setattr(self, key, max(getattr(self, key), value))
-            else:
-                setattr(self, key, getattr(self, key) + value)
+        """Accumulate another stats object into this one.
+
+        Zero-valued fields are skipped, so merging a run-local stats
+        object only writes the counter families that run touched —
+        concurrent writers of disjoint families (runtime vs compile vs
+        serving) cannot lose updates through a merge.
+        """
+        with self.lock:
+            for key, value in other.__dict__.items():
+                if isinstance(value, dict):
+                    mine = getattr(self, key)
+                    for name, count in value.items():
+                        mine[name] = mine.get(name, 0) + count
+                elif not isinstance(value, (int, float)):
+                    continue  # lock and other non-counter attributes
+                elif key in self._GAUGES:
+                    # Peak/gauge values combine via max, not addition.
+                    setattr(self, key, max(getattr(self, key), value))
+                elif value:
+                    setattr(self, key, getattr(self, key) + value)

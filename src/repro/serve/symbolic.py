@@ -1,0 +1,136 @@
+"""Symbolic input slots and shape signatures for prepared programs.
+
+A :class:`SymbolicBlock` stands in for a ``MatrixBlock`` at compile
+time: it carries exactly the metadata the compiler front half consumes
+(shape, nnz estimate, storage class) without holding any cell data, so
+a ``DataOp`` leaf built over it flows through rewrites, codegen, and
+lowering unchanged.  The lowered ``Program`` then contains the symbolic
+block in its constant slots, and the serving layer substitutes each
+request's real block through the executor's ``bindings`` overlay —
+the program itself is never mutated.
+
+:func:`input_signature` is the specialization key: exact dimensions and
+the dense/sparse storage class per matrix input, and the literal value
+per scalar input (scalars are baked into the compiled plan exactly as
+SystemML literals are, so a new scalar value is a new specialization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.runtime.compressed import CompressedMatrix
+from repro.runtime.matrix import MatrixBlock
+
+_SCALAR_TYPES = (int, float, np.floating, np.integer)
+
+
+class SymbolicBlock:
+    """Compile-time stand-in for one named matrix input."""
+
+    __slots__ = ("name", "rows", "cols", "_nnz", "_sparse", "__weakref__")
+
+    def __init__(self, name: str, rows: int, cols: int,
+                 nnz: int | None = None, sparse: bool = False):
+        self.name = name
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self._nnz = int(nnz) if nnz is not None else self.rows * self.cols
+        self._sparse = bool(sparse)
+
+    # -- the MatrixBlock metadata surface the compiler reads -----------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def is_sparse(self) -> bool:
+        return self._sparse
+
+    @property
+    def sparsity(self) -> float:
+        cells = self.rows * self.cols
+        return self._nnz / cells if cells else 0.0
+
+    @property
+    def size_bytes(self) -> float:
+        if self._sparse:
+            return self._nnz * 12.0 + self.rows * 4.0
+        return self.rows * self.cols * 8.0
+
+    def __repr__(self) -> str:
+        storage = "sparse" if self._sparse else "dense"
+        return f"SymbolicBlock({self.name}, {self.rows}x{self.cols}, {storage})"
+
+    @classmethod
+    def like(cls, name: str, block: MatrixBlock) -> "SymbolicBlock":
+        """A symbolic slot with the metadata of a concrete block."""
+        return cls(name, block.rows, block.cols, nnz=block.nnz,
+                   sparse=block.is_sparse)
+
+
+def normalize_inputs(inputs: dict) -> dict:
+    """Coerce a request's input dict to floats and MatrixBlocks.
+
+    Compressed matrices are passed through: they are baked into the
+    specialization as constants (read-only model data), keyed by
+    identity in the signature.
+    """
+    if not inputs:
+        raise ServingError("a served request needs at least one input")
+    normalized: dict = {}
+    for name, value in inputs.items():
+        if isinstance(value, _SCALAR_TYPES):
+            normalized[name] = float(value)
+        elif isinstance(value, (MatrixBlock, CompressedMatrix)):
+            normalized[name] = value
+        else:
+            normalized[name] = MatrixBlock(np.asarray(value, dtype=np.float64))
+    return normalized
+
+
+def input_signature(inputs: dict) -> tuple:
+    """The specialization key for a normalized input dict."""
+    items = []
+    for name in sorted(inputs):
+        value = inputs[name]
+        if isinstance(value, float):
+            items.append((name, "s", value))
+        elif isinstance(value, CompressedMatrix):
+            items.append((name, "c", id(value)))
+        else:
+            storage = "sparse" if value.is_sparse else "dense"
+            items.append((name, "m", value.rows, value.cols, storage))
+    return tuple(items)
+
+
+def same_data(a, b) -> bool:
+    """Do two normalized inputs share the same underlying data?
+
+    Two ``MatrixBlock`` wrappers created from the same numpy array (or
+    the same block) count as identical — the scheduler uses this to
+    recognize shared model inputs across batched requests.
+    """
+    if a is b:
+        return True
+    if isinstance(a, MatrixBlock) and isinstance(b, MatrixBlock):
+        if a._dense is not None:
+            return a._dense is b._dense
+        return a._sparse is not None and a._sparse is b._sparse
+    return False
+
+
+def request_bytes(inputs: dict) -> float:
+    """Admission-control estimate of a request's input footprint."""
+    total = 0.0
+    for value in inputs.values():
+        if isinstance(value, float):
+            total += 8.0
+        else:
+            total += value.size_bytes
+    return total

@@ -64,6 +64,48 @@ class TestGetOrCompile:
         assert cache.hits == 0  # recompiled after clear
 
 
+class TestConcurrentAccess:
+    def test_concurrent_miss_compiles_exactly_once(self):
+        """Threads racing on the same key share one compilation."""
+        import threading
+
+        from repro.runtime.stats import RuntimeStats
+
+        engine = make_engine("gen")
+        api.eval(_sum_expr(), engine=engine)
+        (operator,) = list(engine.plan_cache._cache.values())
+        cplan = operator.cplan
+
+        cache = PlanCache(enabled=True)
+        config = CodegenConfig()
+        stats = RuntimeStats()
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        compiled: dict[int, object] = {}
+        errors: list[BaseException] = []
+
+        def worker(index):
+            try:
+                barrier.wait()
+                compiled[index] = cache.get_or_compile(cplan, config, stats)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        operators = set(map(id, compiled.values()))
+        assert len(operators) == 1  # everyone got the same object
+        assert stats.n_classes_compiled == 1  # no double-compile
+        assert cache.lookups == n_threads
+        assert cache.hits == n_threads - 1
+        assert cache.size == 1
+
+
 class TestIterativeExecution:
     @pytest.mark.parametrize("mode", GEN_MODES)
     def test_iterations_compile_once(self, mode):

@@ -1,0 +1,317 @@
+"""PreparedProgram: shape-specialized plan reuse and recompilation."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import ServingError
+from repro.lang.interp import run_script
+from repro.runtime.matrix import MatrixBlock
+from repro.serve import PreparedProgram, input_signature, normalize_inputs
+from tests.conftest import ALL_MODES, make_engine
+
+RNG = np.random.default_rng(23)
+XD = RNG.random((60, 12))
+WD = RNG.random((12, 1))
+
+
+def _score_builder(slots):
+    return slots["X"] @ slots["w"] + slots["b"]
+
+
+class TestSignatures:
+    def test_signature_keys_shape_and_storage(self):
+        dense = normalize_inputs({"X": XD})
+        sig_dense = input_signature(dense)
+        sig_other = input_signature(normalize_inputs({"X": RNG.random((60, 12))}))
+        assert sig_dense == sig_other  # same shape+storage, different values
+        sparse = MatrixBlock.rand(60, 12, sparsity=0.05, seed=3)
+        assert input_signature(normalize_inputs({"X": sparse})) != sig_dense
+        resized = normalize_inputs({"X": RNG.random((61, 12))})
+        assert input_signature(resized) != sig_dense
+
+    def test_scalars_are_baked_into_the_signature(self):
+        a = input_signature(normalize_inputs({"b": 0.5}))
+        b = input_signature(normalize_inputs({"b": 1.5}))
+        assert a != b
+
+
+class TestPreparedExpression:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_matches_direct_evaluation(self, mode):
+        engine = make_engine(mode)
+        prepared = engine.prepare(_score_builder, name="score")
+        result = prepared.run({"X": XD, "w": WD, "b": 0.5})
+        expected = XD @ WD + 0.5
+        np.testing.assert_allclose(result.to_dense(), expected, rtol=1e-10)
+
+    def test_warm_hit_skips_the_entire_compile_pipeline(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare(_score_builder, name="score")
+        prepared.run({"X": XD, "w": WD, "b": 0.5})
+        compiled = engine.stats.n_programs_compiled
+        optimized = engine.stats.n_dags_optimized
+        lowered = engine.stats.n_instructions_lowered
+        pass_seconds = dict(engine.stats.pipeline_pass_seconds)
+
+        fresh = RNG.random((60, 12))  # same shapes, new values
+        result = prepared.run({"X": fresh, "w": WD, "b": 0.5})
+        np.testing.assert_allclose(result.to_dense(), fresh @ WD + 0.5)
+        assert engine.stats.n_programs_compiled == compiled
+        assert engine.stats.n_dags_optimized == optimized
+        assert engine.stats.n_instructions_lowered == lowered
+        assert engine.stats.pipeline_pass_seconds == pass_seconds
+        assert engine.stats.n_specialization_hits == 1
+        assert prepared.n_specializations == 1
+
+    def test_shape_mismatch_recompiles_new_specialization(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare(_score_builder, name="score")
+        prepared.run({"X": XD, "w": WD, "b": 0.5})
+        small = RNG.random((9, 12))
+        result = prepared.run({"X": small, "w": WD, "b": 0.5})
+        np.testing.assert_allclose(result.to_dense(), small @ WD + 0.5)
+        assert prepared.n_specializations == 2
+        assert engine.stats.n_shape_recompiles == 1
+        assert engine.stats.n_specialization_misses == 2
+        # Both specializations stay warm.
+        prepared.run({"X": XD, "w": WD, "b": 0.5})
+        prepared.run({"X": small, "w": WD, "b": 0.5})
+        assert prepared.n_specializations == 2
+        assert engine.stats.n_specialization_hits == 2
+
+    def test_generated_operators_shared_across_specializations(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare(
+            lambda s: (s["X"] * s["Y"] * 2.0).sum(), name="dotlike"
+        )
+        prepared.run({"X": XD, "Y": XD})
+        compiled_classes = engine.stats.n_classes_compiled
+        assert compiled_classes >= 1
+        # A new shape forces a new Program, but the semantic CPlan hash
+        # matches, so the plan cache supplies the operator.
+        prepared.run({"X": XD[:30], "Y": XD[:30]})
+        assert engine.stats.n_classes_compiled == compiled_classes
+        assert engine.stats.plan_cache_hits >= 1
+        assert engine.stats.plan_cache_size >= 1
+
+    def test_multi_output_builders(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare(
+            lambda s: {"scores": s["X"] @ s["w"], "norm": (s["w"] * s["w"]).sum()},
+            name="multi",
+        )
+        out = prepared.run({"X": XD, "w": WD})
+        np.testing.assert_allclose(out["scores"].to_dense(), XD @ WD)
+        assert out["norm"] == pytest.approx(float((WD * WD).sum()))
+
+    def test_sparse_inputs_specialize_separately(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare(lambda s: (s["X"] * 2.0).sum(), name="sum2x")
+        sparse = MatrixBlock.rand(60, 12, sparsity=0.05, seed=5)
+        a = prepared.run({"X": XD})
+        b = prepared.run({"X": sparse})
+        assert a == pytest.approx(float((XD * 2.0).sum()))
+        assert b == pytest.approx(float(sparse.to_dense().sum() * 2.0))
+        assert prepared.n_specializations == 2
+
+
+class TestPreparedScript:
+    SRC = """
+input X, w
+scores = X %*% w
+hinge = max(1 - scores, 0)
+loss = sum(hinge)
+"""
+
+    def test_matches_run_script(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare_script(self.SRC, name="svm")
+        served = prepared.run({"X": XD, "w": WD})
+        direct = run_script(self.SRC, inputs={"X": XD, "w": WD},
+                            engine=make_engine("gen"))
+        np.testing.assert_allclose(
+            served["scores"].to_dense(), direct["scores"].to_dense()
+        )
+        assert served["loss"] == pytest.approx(direct["loss"])
+
+    def test_missing_declared_input_raises(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare_script(self.SRC, name="svm")
+        with pytest.raises(ServingError, match="missing declared"):
+            prepared.run({"X": XD})
+
+    def test_scalar_controlled_loop_unrolls(self):
+        engine = make_engine("gen")
+        src = """
+input X, k
+acc = X * 0
+for (i in 1:k) {
+  acc = acc + X * i
+}
+"""
+        prepared = engine.prepare_script(src, name="unroll")
+        out = prepared.run({"X": XD, "k": 3.0})
+        np.testing.assert_allclose(out["acc"].to_dense(), XD * 6.0, rtol=1e-10)
+        # A different trip count is a different (baked-scalar) plan.
+        out2 = prepared.run({"X": XD, "k": 2.0})
+        np.testing.assert_allclose(out2["acc"].to_dense(), XD * 3.0, rtol=1e-10)
+        assert prepared.n_specializations == 2
+
+    def test_data_dependent_branching_is_rejected(self):
+        engine = make_engine("gen")
+        src = """
+input X
+while (sum(X) > 1) {
+  X = X - 1
+}
+"""
+        prepared = engine.prepare_script(src, name="loopy")
+        with pytest.raises(ServingError, match="branch on matrix data"):
+            prepared.run({"X": XD})
+
+    def test_input_decl_runs_under_regular_interpreter(self):
+        result = run_script(self.SRC, inputs={"X": XD, "w": WD},
+                            engine=make_engine("base"))
+        np.testing.assert_allclose(result["scores"].to_dense(), XD @ WD)
+
+    def test_input_decl_unbound_raises(self):
+        from repro.errors import LanguageError
+
+        with pytest.raises(LanguageError, match="not bound"):
+            run_script("input X\ny = X * 2", engine=make_engine("base"))
+
+
+class TestDistributedServing:
+    def test_prepared_runs_on_the_simulated_cluster(self):
+        from repro.config import ClusterConfig
+
+        engine = make_engine(
+            "gen", cluster=ClusterConfig(), local_mem_budget=1.0
+        )
+        prepared = engine.prepare(
+            lambda s: (s["X"] @ s["w"]).col_sums(), name="dist"
+        )
+        local = make_engine("gen").prepare(
+            lambda s: (s["X"] @ s["w"]).col_sums(), name="local"
+        )
+        for x in (XD, RNG.random((60, 12))):
+            served = prepared.run({"X": x, "w": WD})
+            expected = local.run({"X": x, "w": WD})
+            np.testing.assert_allclose(
+                served.to_dense(), expected.to_dense(), rtol=1e-10
+            )
+        assert engine.stats.n_distributed_ops >= 1
+        assert engine.stats.n_specialization_hits == 1
+
+
+class TestMicroBatching:
+    def test_batch_equals_individual_runs(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare_script(
+            "input X, w\nscores = X %*% w\n", name="score",
+            batch_inputs=("X",),
+        )
+        parts = [RNG.random((n, 12)) for n in (20, 35, 5)]
+        batched = prepared.run_batch([{"X": p, "w": WD} for p in parts])
+        for part, out in zip(parts, batched):
+            np.testing.assert_allclose(
+                out["scores"].to_dense(), part @ WD, rtol=1e-10
+            )
+            np.testing.assert_allclose(out["X"].to_dense(), part)
+
+    def test_unsplittable_outputs_raise(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare_script(
+            "input X, w\nloss = sum(X %*% w)\n", name="agg",
+            batch_inputs=("X",),
+        )
+        with pytest.raises(ServingError, match="cannot be split"):
+            prepared.run_batch(
+                [{"X": XD[:10], "w": WD}, {"X": XD[10:], "w": WD}]
+            )
+
+    def test_gram_matrix_outputs_are_not_split(self):
+        """X %*% t(X) has batch-dependent columns: rows of the stacked
+        Gram matrix contain cross-request products, so splitting by row
+        offsets would silently hand requests wrong results."""
+        engine = make_engine("gen")
+        prepared = engine.prepare(
+            lambda s: s["X"] @ s["X"].T, name="gram", batch_inputs=("X",)
+        )
+        with pytest.raises(ServingError, match="cannot be split"):
+            prepared.run_batch([{"X": XD[:2]}, {"X": XD[2:4]}])
+        # Individual runs still work and are correct.
+        solo = prepared.run({"X": XD[:2]})
+        np.testing.assert_allclose(solo.to_dense(), XD[:2] @ XD[:2].T)
+
+    def test_cross_row_operators_are_not_split(self):
+        """cumsum mixes batch rows (request 2 sees request 1's prefix
+        totals), so such outputs must refuse batching."""
+        engine = make_engine("gen")
+        prepared = engine.prepare(
+            lambda s: api.cumsum(s["X"]), name="scan", batch_inputs=("X",)
+        )
+        with pytest.raises(ServingError, match="cannot be split"):
+            prepared.run_batch([{"X": XD[:5]}, {"X": XD[5:10]}])
+
+    def test_row_local_chain_still_splits(self):
+        """Cell-wise maps, matmul-with-shared-weights, and row
+        aggregations stay row-local and batch fine."""
+        engine = make_engine("gen")
+        prepared = engine.prepare(
+            lambda s: api.exp((s["X"] @ s["w"]) * 0.5).row_sums(),
+            name="rowchain", batch_inputs=("X",),
+        )
+        parts = [XD[:25], XD[25:]]
+        outs = prepared.run_batch([{"X": p, "w": WD} for p in parts])
+        for part, out in zip(parts, outs):
+            np.testing.assert_allclose(
+                out.to_dense(), np.exp((part @ WD) * 0.5), rtol=1e-10
+            )
+
+    def test_dimension_reading_scripts_refuse_batching(self):
+        """nrow(X) bakes the traced row count into the plan; a stacked
+        compile would bake the batch total and corrupt results, so such
+        specializations must refuse splitting."""
+        from repro.errors import UnbatchableProgramError
+
+        engine = make_engine("gen")
+        prepared = engine.prepare_script(
+            "input X\ny = X / nrow(X)\n", name="meanish",
+            batch_inputs=("X",),
+        )
+        # Solo runs are correct (divide by the request's own rows).
+        solo = prepared.run({"X": XD[:4]})
+        np.testing.assert_allclose(solo["y"].to_dense(), XD[:4] / 4.0)
+        with pytest.raises(UnbatchableProgramError):
+            prepared.run_batch([{"X": XD[:4]}, {"X": XD[4:8]}])
+
+    def test_specialization_cache_is_lru_bounded(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare(
+            lambda s: s["X"] * 2.0, name="double", max_specializations=2
+        )
+        for rows in (10, 20, 30):
+            prepared.run({"X": XD[:rows]})
+        assert prepared.n_specializations == 2
+        # The oldest (10-row) specialization was evicted; re-running it
+        # recompiles, while the 30-row one stays warm.
+        misses = engine.stats.n_specialization_misses
+        prepared.run({"X": XD[:30]})
+        assert engine.stats.n_specialization_misses == misses
+        prepared.run({"X": XD[:10]})
+        assert engine.stats.n_specialization_misses == misses + 1
+
+    def test_batch_independent_outputs_replicate(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare_script(
+            "input X, w\nscores = X %*% w\nnorm = sum(w * w)\n",
+            name="score", batch_inputs=("X",),
+        )
+        outs = prepared.run_batch(
+            [{"X": XD[:10], "w": WD}, {"X": XD[10:], "w": WD}]
+        )
+        expected = float((WD * WD).sum())
+        for out in outs:
+            assert out["norm"] == pytest.approx(expected)
