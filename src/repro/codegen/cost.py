@@ -311,7 +311,32 @@ class CostEstimator:
             )
             write_time = out_bytes / config.write_bandwidth
             compute_time = cv.flops * scale / config.peak_flops
+            # Fused operators execute multi-threaded over row partitions
+            # (skeletons intra-op parallelism): scale compute by the
+            # effective parallelism so enumeration prefers fusion plans
+            # that parallelize well.  I/O stays serial — bandwidth, not
+            # cores, bounds reads and writes.
+            compute_time /= self._intra_op_parallelism(cv)
         return write_time + max(read_time, compute_time)
+
+    def _intra_op_parallelism(self, cv: CostVector) -> float:
+        """Effective speedup of partition-parallel fused execution.
+
+        Mirrors the runtime gate in ``skeletons._plan_intra_op``: only
+        fused templates over a sufficiently large main input partition,
+        and never into more parts than the main input has rows.
+        """
+        if cv.ttype is None:
+            return 1.0
+        par = self.config.effective_intra_op_threads()
+        if par <= 1:
+            return 1.0
+        main = self._main_input(cv)
+        if main is None or main.cells < self.config.intra_op_min_cells:
+            return 1.0
+        if main.rows < 2 * par:
+            return 1.0
+        return float(par)
 
     def _sparsity_scale(self, cv: CostVector) -> float:
         """Scale factor of sparsity-exploiting operators (main input)."""

@@ -9,6 +9,7 @@ matter for plan choices.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 
@@ -86,6 +87,24 @@ class CodegenConfig:
     # serially: thread-pool dispatch overhead dominates tiny operators.
     parallel_min_cells: int = 1 << 16
 
+    # Intra-operator parallelism: generated fused operators split their
+    # main input into this many row partitions (dense slices, CSR row
+    # ranges, compressed column-group views) and combine aggregation
+    # partials through a fixed tree topology.  0 = auto (min(8, cpus));
+    # 1 falls back to the exact serial skeleton code path.  The
+    # partition count is fixed by this knob — the thread budget only
+    # bounds how many partitions run concurrently — so results are
+    # deterministic run-to-run.
+    intra_op_threads: int = 0
+    # Operators whose main input has fewer cells than this run the
+    # serial skeletons: partition dispatch overhead dominates.
+    intra_op_min_cells: int = 1 << 16
+    # Process-wide token budget shared by the executor pool, intra-op
+    # workers, and serving scheduler (no oversubscription when all
+    # three layers are active).  0 = the shared default
+    # (max(8, cpu_count)); >0 caps grants made under this config.
+    thread_budget: int = 0
+
     # Code generation backend: 'exec' is the fast in-memory compiler
     # (janino analogue); 'file' writes sources to disk and imports them
     # (javac analogue).
@@ -109,6 +128,12 @@ class CodegenConfig:
             "^": 30.0,
         }
     )
+
+    def effective_intra_op_threads(self) -> int:
+        """Resolved partition count for intra-operator execution."""
+        if self.intra_op_threads > 0:
+            return self.intra_op_threads
+        return min(8, os.cpu_count() or 1)
 
     def copy(self) -> "CodegenConfig":
         """Return a shallow copy (cluster config shared)."""

@@ -38,6 +38,7 @@ from repro.hops.hop import Hop, SpoofOp
 from repro.hops.types import AggDir, OpKind
 from repro.runtime import ops as rops
 from repro.runtime.matrix import MatrixBlock
+from repro.runtime.skeletons import partition_bounds, tree_reduce
 from repro.runtime.stats import RuntimeStats
 
 
@@ -65,7 +66,7 @@ class BlockedMatrix:
     @classmethod
     def partition(cls, block: MatrixBlock, n_partitions: int) -> "BlockedMatrix":
         rows, cols = block.shape
-        bounds = _partition_bounds(rows, n_partitions)
+        bounds = partition_bounds(rows, n_partitions)
         if block.is_sparse:
             csr = block.to_csr()
             parts = [MatrixBlock(csr[r0:r1]) for r0, r1 in bounds]
@@ -109,32 +110,6 @@ class BlockedMatrix:
             f"BlockedMatrix({self.rows}x{self.cols}, "
             f"{self.n_partitions} partitions)"
         )
-
-
-def _partition_bounds(rows: int, n_partitions: int) -> list[tuple[int, int]]:
-    if rows <= 0:
-        return []
-    n_partitions = max(1, min(n_partitions, rows))
-    step = (rows + n_partitions - 1) // n_partitions
-    return [(r0, min(rows, r0 + step)) for r0 in range(0, rows, step)]
-
-
-def tree_reduce(partials: list, combine) -> tuple[object, int]:
-    """Pairwise tree-reduction; returns (result, number of levels)."""
-    parts = list(partials)
-    if not parts:
-        raise RuntimeExecError("tree_reduce over zero partials")
-    levels = 0
-    while len(parts) > 1:
-        merged = [
-            combine(parts[i], parts[i + 1])
-            for i in range(0, len(parts) - 1, 2)
-        ]
-        if len(parts) % 2:
-            merged.append(parts[-1])
-        parts = merged
-        levels += 1
-    return parts[0], levels
 
 
 def _combine_partials(a, b, agg: str):
@@ -489,9 +464,11 @@ class SparkExecutor:
         per operator (the Table 6 broadcast overhead), and aggregation
         outputs combine via a tree-reduce over per-partition partials."""
         from repro.runtime.skeletons import (
+            decompress_side_inputs,
             execute_operator,
             is_row_partitioned_output,
             reduce_spoof_partials,
+            sliceable_spoof_inputs,
         )
 
         self.stats.n_distributed_ops += 1
@@ -509,7 +486,7 @@ class SparkExecutor:
                 elif _value_bytes(value) > 0:
                     self.charge_broadcast(_value_bytes(value))
             return execute_operator(hop.operator, values, self.config,
-                                    self.stats)
+                                    self.stats, allow_parallel=False)
 
         main_blocked = self._as_blocked(main_val, keys[main_index])
         for idx, value in enumerate(values):
@@ -523,7 +500,13 @@ class SparkExecutor:
             if size > 0:
                 self.charge_broadcast(size)
 
-        sliceable = _sliceable_spoof_inputs(cplan, values, main_blocked.rows)
+        # Row-aligned compressed sides must decompress to be sliceable
+        # (workers receive the compressed broadcast — charged above —
+        # and expand it locally).
+        values = decompress_side_inputs(
+            cplan, values, main_blocked.rows, row_aligned_only=True
+        )
+        sliceable = sliceable_spoof_inputs(cplan, values, main_blocked.rows)
         self.stats.record_spoof(cplan.ttype.value)
         partials = []
         for p, (r0, r1) in enumerate(main_blocked.bounds):
@@ -536,7 +519,8 @@ class SparkExecutor:
                 else:
                     part_values.append(value)
             partials.append(
-                execute_operator(hop.operator, part_values, self.config)
+                execute_operator(hop.operator, part_values, self.config,
+                                 allow_parallel=False)
             )
 
         if is_row_partitioned_output(cplan.out_type):
@@ -550,34 +534,6 @@ class SparkExecutor:
         result, levels = reduce_spoof_partials(cplan, partials, tree_reduce)
         self.charge_tree_reduce(_value_bytes(partials[0]), levels)
         return result
-
-
-def _sliceable_spoof_inputs(cplan, values: list, main_rows: int) -> set[int]:
-    """Indices of side inputs that are row-aligned with the main input
-    and therefore sliced to each partition's row range."""
-    from repro.codegen.cplan import Access, OutType
-    from repro.codegen.template import TemplateType
-
-    sliceable: set[int] = set()
-    for idx, (spec, value) in enumerate(zip(cplan.inputs, values)):
-        if idx == cplan.main_index or spec.access is Access.SCALAR:
-            continue
-        if not isinstance(value, MatrixBlock):
-            continue
-        if cplan.ttype is TemplateType.OUTER:
-            # U is row-aligned by construction; W is row-aligned only
-            # for the left-multiply accumulation; V never is.
-            if idx == cplan.u_index:
-                sliceable.add(idx)
-            elif idx == cplan.w_index:
-                if cplan.out_type is OutType.OUTER_LEFT:
-                    sliceable.add(idx)
-            elif idx != cplan.v_index and value.rows == main_rows > 1:
-                sliceable.add(idx)
-        elif (spec.access is Access.SIDE_ROW
-              and value.rows == main_rows > 1):
-            sliceable.add(idx)
-    return sliceable
 
 
 def _rows_of(value) -> int:

@@ -40,6 +40,7 @@ from repro.config import CodegenConfig
 from repro.errors import RuntimeExecError
 from repro.hops.types import ExecType
 from repro.runtime.matrix import MatrixBlock
+from repro.runtime.parallel import shared_budget
 from repro.runtime.stats import RuntimeStats
 
 
@@ -168,8 +169,23 @@ class ProgramExecutor:
                 self.spark.prune_cache(epoch)
                 self._run_serial(program, values, self.stats, epoch)
         elif self._should_parallelize(program):
+            # Draw worker tokens from the process-wide budget: when the
+            # serving scheduler or other in-flight runs already claim
+            # the machine, this run degrades (fewer in-flight
+            # instructions, or fully serial) instead of oversubscribing.
+            budget = shared_budget()
+            granted = budget.acquire(
+                self.n_threads, limit=self.config.thread_budget or None
+            )
             run_stats = RuntimeStats()
-            self._run_parallel(program, values, run_stats)
+            try:
+                if granted >= 2:
+                    self._run_parallel(program, values, run_stats, granted)
+                else:
+                    run_stats.n_budget_degraded_runs += 1
+                    self._run_serial(program, values, run_stats, epoch)
+            finally:
+                budget.release(granted)
             self.stats.merge(run_stats)
         else:
             run_stats = RuntimeStats()
@@ -262,11 +278,15 @@ class ProgramExecutor:
 
     # ------------------------------------------------------------------
     def _run_parallel(self, program, values: list,
-                      run_stats: RuntimeStats) -> None:
+                      run_stats: RuntimeStats,
+                      max_concurrency: int | None = None) -> None:
         pool = self._ensure_pool()
         instructions = program.instructions
         counts = list(program.consumer_counts)
         pinned = program.pinned
+        # Bound in-flight instructions to the budget tokens granted for
+        # this run; ready instructions beyond the cap wait in a queue.
+        cap = max_concurrency if max_concurrency else self.n_threads
 
         # Per-run lock: concurrent runs sharing this executor must not
         # serialize each other's dependency bookkeeping.
@@ -280,6 +300,8 @@ class ProgramExecutor:
             "running": 0,
             "max_running": 0,
             "launched": 0,
+            "inflight": 0,
+            "queued": deque(),
             "freed": 0,
             "error": None,
         }
@@ -304,6 +326,7 @@ class ProgramExecutor:
                         state["error"] = exc
                     state["remaining"] -= 1
                     state["running"] -= 1
+                    state["inflight"] -= 1
                     if state["remaining"] == 0 or state["error"] is not None:
                         done.set()
                 return
@@ -320,16 +343,25 @@ class ProgramExecutor:
                         ready.append(instructions[dep_index])
                 state["remaining"] -= 1
                 state["running"] -= 1
+                state["inflight"] -= 1
                 if state["error"] is None:
                     for nxt in ready:
                         _submit(nxt)
+                    while state["queued"] and state["inflight"] < cap:
+                        _submit(state["queued"].popleft())
                 if state["remaining"] == 0:
                     done.set()
 
         def _submit(instr) -> None:
             # Caller holds the lock; `running` is tracked by the worker
             # itself so peak concurrency reflects tasks actually on a
-            # thread, not queued submissions.
+            # thread, not queued submissions.  In-flight submissions are
+            # capped at the budget tokens granted to this run; excess
+            # ready instructions wait in the queue.
+            if state["inflight"] >= cap:
+                state["queued"].append(instr)
+                return
+            state["inflight"] += 1
             state["launched"] += 1
             pool.submit(worker, instr)
 

@@ -73,6 +73,13 @@ class RuntimeStats:
     n_freed_early: int = 0  # intermediates freed before end of program
     n_serial_runs: int = 0
     n_parallel_runs: int = 0
+    n_budget_degraded_runs: int = 0  # parallel-eligible runs forced serial
+
+    # Intra-operator parallel fused execution.
+    n_intra_op_parallel: int = 0  # operators executed partition-wise
+    n_intra_op_partitions: int = 0  # total partitions across those operators
+    intra_op_combine_levels: int = 0  # total tree-reduce levels combined
+    intra_op_max_threads: int = 0  # gauge: peak workers granted per operator
 
     # Serving subsystem (prepared programs + session scheduler).
     n_requests_served: int = 0
@@ -91,7 +98,8 @@ class RuntimeStats:
     spoof_executions: dict = field(default_factory=dict)
 
     #: Gauge fields combine via max (not addition) when merging.
-    _GAUGES = ("executor_max_concurrency", "plan_cache_size")
+    _GAUGES = ("executor_max_concurrency", "plan_cache_size",
+               "intra_op_max_threads")
 
     def __post_init__(self):
         # Reentrant: the distributed backend mutates shared stats while
@@ -107,6 +115,27 @@ class RuntimeStats:
             "n_freed_early": self.n_freed_early,
             "n_serial_runs": self.n_serial_runs,
             "n_parallel_runs": self.n_parallel_runs,
+        }
+
+    def parallel_summary(self) -> dict:
+        """Intra-operator parallelism counters (bench/doc observability).
+
+        ``mean_partitions`` is per parallel-executed operator;
+        ``intra_op_max_threads`` reports the peak worker grant the
+        shared thread budget allowed (1 = partitions executed on the
+        calling thread because outer layers held the budget).
+        """
+        ops = max(self.n_intra_op_parallel, 1)
+        return {
+            "n_intra_op_parallel": self.n_intra_op_parallel,
+            "n_intra_op_partitions": self.n_intra_op_partitions,
+            "mean_partitions": self.n_intra_op_partitions / ops,
+            "intra_op_combine_levels": self.intra_op_combine_levels,
+            "intra_op_max_threads": self.intra_op_max_threads,
+            "n_budget_degraded_runs": self.n_budget_degraded_runs,
+            "n_parallel_runs": self.n_parallel_runs,
+            "n_serial_runs": self.n_serial_runs,
+            "executor_max_concurrency": self.executor_max_concurrency,
         }
 
     def distributed_summary(self) -> dict:

@@ -57,6 +57,37 @@ class TestCostModel:
 
         assert cost_for(0.001) < cost_for(0.5)
 
+    def test_intra_op_parallelism_scales_compute(self, rng):
+        """More intra-op threads lower fused compute estimates, so plan
+        enumeration can prefer fusion plans that parallelize well."""
+        x = api.matrix(rng.random((2000, 200)), "X")
+
+        def cost_for(threads):
+            # Stacked expensive unaries make the operator compute-bound,
+            # so dividing compute by the parallelism moves the
+            # max(read, compute) term.
+            expr = (api.exp(api.exp(api.exp(x * 0.01))) * x).sum()
+            _, memo, hop_by_id, est, parts, _ = _setup(
+                [expr], CodegenConfig(intra_op_threads=threads)
+            )
+            return min(est.cost_partition(p, frozenset()) for p in parts)
+
+        assert cost_for(4) < cost_for(1)
+
+    def test_small_inputs_keep_serial_compute_estimates(self, rng):
+        """Below ``intra_op_min_cells`` the runtime stays serial, and
+        the cost model must mirror that gate."""
+        x = api.matrix(rng.random((40, 12)), "X")
+
+        def cost_for(threads):
+            expr = (api.exp(x * 0.5) * x).sum()
+            _, memo, hop_by_id, est, parts, _ = _setup(
+                [expr], CodegenConfig(intra_op_threads=threads)
+            )
+            return min(est.cost_partition(p, frozenset()) for p in parts)
+
+        assert cost_for(4) == cost_for(1)
+
     def test_distributed_costing_charges_broadcasts(self, rng):
         x = api.matrix(rng.random((2000, 50)), "X")
         v = api.matrix(rng.random((2000, 1)), "v")

@@ -4,14 +4,22 @@ A hypothesis strategy builds random expression DAGs (cell chains,
 broadcasts, aggregations, matmult chains, shared subexpressions) and
 asserts that all execution engines — including the fusing ones — agree
 with the base interpreter.
+
+The differential harness additionally runs every random expression
+under the three *execution strategies* of the fusing engine — serial
+skeletons, intra-operator parallel (2 and 4 partition threads), and the
+simulated Spark backend — and asserts allclose equivalence, keeping the
+strategies provably interchangeable.
 """
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro import api
+from repro.compiler.execution import Engine
+from repro.config import ClusterConfig, CodegenConfig
 from repro.runtime.matrix import MatrixBlock
-from tests.conftest import assert_engines_agree
+from tests.conftest import assert_engines_agree, as_array
 
 ROWS, COLS = 40, 12
 
@@ -137,3 +145,46 @@ def test_all_engines_agree_on_random_dags(dag):
         rtol=1e-7,
         atol=1e-9,
     )
+
+
+def _strategy_configs() -> dict[str, CodegenConfig]:
+    """The three execution strategies of the fusing engine.
+
+    ``intra_op_min_cells=1`` forces partitioning even on the small
+    property-test matrices, so the parallel skeleton paths actually
+    execute; the spark config keeps the default driver budget so
+    exec-type selection still distributes only oversized operators —
+    ``local_mem_budget=0`` would push every tiny operator through the
+    cluster path, which the distributed tests already cover.
+    """
+    return {
+        "serial": CodegenConfig(intra_op_threads=1),
+        "intra-op-2": CodegenConfig(intra_op_threads=2, intra_op_min_cells=1),
+        "intra-op-4": CodegenConfig(intra_op_threads=4, intra_op_min_cells=1),
+        "spark": CodegenConfig(cluster=ClusterConfig(),
+                               local_mem_budget=1e4),
+    }
+
+
+@given(expression_dags())
+@settings(max_examples=25, deadline=None)
+def test_execution_strategies_agree_on_random_dags(dag):
+    """Differential harness: serial vs intra-op parallel vs spark."""
+    leaves, col_vec, row_vec, op_script, finishers, seed = dag
+
+    def build():
+        return _build(leaves, col_vec, row_vec, op_script, finishers, seed)
+
+    reference = [
+        as_array(v)
+        for v in api.eval_all(build(), engine=Engine(mode="base"))
+    ]
+    for name, config in _strategy_configs().items():
+        engine = Engine(mode="gen", config=config)
+        results = [as_array(v) for v in api.eval_all(build(), engine=engine)]
+        assert len(results) == len(reference)
+        for idx, (expected, actual) in enumerate(zip(reference, results)):
+            np.testing.assert_allclose(
+                actual, expected, rtol=1e-7, atol=1e-9,
+                err_msg=f"strategy={name} output={idx}",
+            )

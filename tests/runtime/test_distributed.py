@@ -6,8 +6,9 @@ import pytest
 from repro import api
 from repro.compiler.execution import Engine
 from repro.config import ClusterConfig, CodegenConfig
-from repro.runtime.distributed import BlockedMatrix, _partition_bounds
+from repro.runtime.distributed import BlockedMatrix
 from repro.runtime.matrix import MatrixBlock
+from repro.runtime.skeletons import partition_bounds as _partition_bounds
 
 
 def _cluster_config(budget=1e5, **cluster_kwargs) -> CodegenConfig:
