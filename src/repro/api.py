@@ -208,16 +208,23 @@ def _slice_bounds(part, extent: int) -> tuple[int, int]:
 # ----------------------------------------------------------------------
 # Constructors
 # ----------------------------------------------------------------------
-def matrix(data, name: str = "") -> Mat:
+def matrix(data, name: str = "", nnz_unknown: bool = False) -> Mat:
     """Bind a numpy array / scipy matrix / MatrixBlock / CompressedMatrix
-    as an input."""
+    as an input.
+
+    ``nnz_unknown=True`` hides the input's sparsity from the compiler
+    (dimensions stay known): the plan is built assuming dense, and the
+    adaptive recompiler corrects exec-type, fusion, and format choices
+    at runtime once the actual non-zero count is observed — the
+    situation of reads without metadata in SystemML (Section 2.1).
+    """
     from repro.runtime.compressed import CompressedMatrix
 
     if isinstance(data, (MatrixBlock, CompressedMatrix)):
         block = data
     else:
         block = MatrixBlock(data)
-    return Mat(DataOp(block, name=name))
+    return Mat(DataOp(block, name=name, nnz_unknown=nnz_unknown))
 
 
 def scalar(value: float) -> Mat:

@@ -124,7 +124,8 @@ class CodegenOptimizer:
         spoofs: list[tuple[list[Hop], SpoofOp]] = []
         for covered_roots, operator, input_hops in replacements:
             spoof = SpoofOp(
-                operator.cplan.ttype.value, operator, covered_roots[0], input_hops
+                operator.cplan.ttype.value, operator, covered_roots[0], input_hops,
+                covered_roots=covered_roots,
             )
             if len(covered_roots) > 1:
                 # Multi-aggregate: the SpoofOp yields a k x 1 matrix.

@@ -7,7 +7,13 @@ from repro.compiler.pipeline import (
     build_pipeline,
     compile_program,
 )
-from repro.compiler.program import Instruction, Program, lower_program
+from repro.compiler.program import (
+    Instruction,
+    Program,
+    annotate_recompile_markers,
+    lower_program,
+)
+from repro.compiler.recompile import Recompiler
 
 __all__ = [
     "Engine",
@@ -17,5 +23,7 @@ __all__ = [
     "compile_program",
     "Instruction",
     "Program",
+    "annotate_recompile_markers",
     "lower_program",
+    "Recompiler",
 ]

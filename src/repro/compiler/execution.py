@@ -45,6 +45,7 @@ from repro.compiler.pipeline import (
     build_pipeline,
     compile_program,
 )
+from repro.compiler.recompile import Recompiler
 from repro.config import CodegenConfig, DEFAULT_CONFIG
 from repro.errors import RuntimeExecError
 from repro.hops.hop import Hop
@@ -87,7 +88,10 @@ class Engine:
             if self.config.cluster is not None
             else None
         )
-        self.executor = ProgramExecutor(self.config, self.stats, self._spark)
+        self.executor = ProgramExecutor(
+            self.config, self.stats, self._spark,
+            recompiler=Recompiler(self.context),
+        )
 
     # Backward-compatible views onto the shared compilation context.
     @property

@@ -147,7 +147,7 @@ def compile_program(roots: list[Hop], ctx: CompilationContext,
     lock, so engines and prepared-program specializations sharing one
     context (plan cache, optimizer, stats) never interleave passes.
     """
-    from repro.compiler.program import lower_program
+    from repro.compiler.program import annotate_recompile_markers, lower_program
 
     with ctx.lock:
         if passes is None:
@@ -157,6 +157,12 @@ def compile_program(roots: list[Hop], ctx: CompilationContext,
         program = lower_program(
             roots, ctx.mode, distributed=ctx.config.cluster is not None
         )
+        # Partition the lowered program into recompilation segments:
+        # instructions whose exec-type / fusion / format choices rest on
+        # unknown or unknown-derived estimates are marked, and the
+        # executor may re-enter this pipeline at those boundaries with
+        # observed metadata spliced in (compiler/recompile.py).
+        ctx.stats.n_marked_instructions += annotate_recompile_markers(program)
         elapsed = time.perf_counter() - start
         seconds = ctx.stats.pipeline_pass_seconds
         seconds["lowering"] = seconds.get("lowering", 0.0) + elapsed

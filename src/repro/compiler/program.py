@@ -57,6 +57,12 @@ class Instruction:
     # Largest matrix (cells) this instruction touches; the executor's
     # parallel/serial heuristic keys off it.
     weight: int = 0
+    # Adaptive recompilation markers: (slot, estimated_nnz, cells) per
+    # input whose compile-time metadata is unknown or derived from an
+    # unknown estimate.  Non-empty checks start a recompilation segment:
+    # the executor compares the estimate against the observed value and
+    # recompiles the program remainder when they diverge.
+    meta_checks: tuple = ()
 
     def __repr__(self) -> str:
         ins = ",".join(map(str, self.input_slots))
@@ -82,10 +88,40 @@ class Program:
     root_slots: list[int] = field(default_factory=list)
     consumer_counts: list[int] = field(default_factory=list)
     pinned: set = field(default_factory=set)
+    # Slot bookkeeping for adaptive recompilation: hop.id <-> slot for
+    # every hop that owns a symbol-table slot (constants + outputs).
+    hop_slots: dict = field(default_factory=dict)  # hop.id -> slot
+    slot_hops: dict = field(default_factory=dict)  # slot -> Hop
+    # True once annotate_recompile_markers found at least one marked
+    # instruction; the executor skips all adaptive bookkeeping otherwise.
+    has_recompile_markers: bool = False
+    # Slots some marked instruction checks: the executor records nnz
+    # eagerly for these (dims-only for everything else — dense nnz
+    # counting is O(cells)).
+    observe_slots: set = field(default_factory=set)
 
     @property
     def n_instructions(self) -> int:
         return len(self.instructions)
+
+    def recompile_segments(self) -> list[tuple[int, int]]:
+        """Instruction index ranges between recompilation markers.
+
+        A new segment starts at every instruction carrying meta checks;
+        the executor may re-optimize the program remainder at each
+        segment start.  A program without markers is one segment.
+        """
+        if not self.instructions:
+            return []
+        starts = [0] + [
+            instr.index for instr in self.instructions
+            if instr.meta_checks and instr.index != 0
+        ]
+        starts = sorted(set(starts))
+        return [
+            (start, starts[i + 1] if i + 1 < len(starts) else self.n_instructions)
+            for i, start in enumerate(starts)
+        ]
 
     def max_width(self) -> int:
         """Upper bound on schedulable concurrency (levelized width)."""
@@ -228,6 +264,8 @@ def lower_program(roots: list[Hop], mode: str,
         slot = program.n_slots
         program.n_slots += 1
         slot_of[hop.id] = slot
+        program.hop_slots[hop.id] = slot
+        program.slot_hops[slot] = hop
         return slot
 
     def emit(hop: Hop, match, deps: list[Hop]) -> None:
@@ -290,3 +328,70 @@ def lower_program(roots: list[Hop], mode: str,
         insert_collect_boundaries(program)
     program.finalize()
     return program
+
+
+# ----------------------------------------------------------------------
+# Adaptive recompilation markers
+# ----------------------------------------------------------------------
+def _unknown_derived(hops, memo: dict) -> None:
+    """Propagate unknown-metadata taint bottom-up over a hop DAG.
+
+    A matrix hop is *unknown-derived* when its own nnz is unknown
+    (``< 0``) or any matrix input is unknown-derived — its size/sparsity
+    estimate (and every choice the compiler based on it) may be
+    arbitrarily wrong.  Scalars never carry the taint: scalar values do
+    not drive format or exec-type decisions.  Iterative walk: covered
+    fusion bodies can be thousands of hops deep.
+    """
+    stack = list(hops)
+    while stack:
+        node = stack[-1]
+        if node.id in memo:
+            stack.pop()
+            continue
+        missing = [i for i in node.inputs if i.id not in memo]
+        if missing:
+            stack.extend(missing)
+            continue
+        memo[node.id] = node.is_matrix and (
+            node.nnz < 0 or any(memo[i.id] for i in node.inputs)
+        )
+        stack.pop()
+
+
+def annotate_recompile_markers(program: Program) -> int:
+    """Mark instructions whose plan choices rest on unknown estimates.
+
+    An instruction reading a slot whose producing hop is unknown-derived
+    gains ``meta_checks``: (slot, estimated nnz, cells) triples the
+    executor compares against the observed runtime values at the
+    matching segment boundary (``recompile_segments``).  Estimates fall
+    back to *assumed dense* (``cells``) when unknown, mirroring the
+    compiler's conservative default.  ``spoof_out`` extractors stay
+    glued to their producing operator (recompiling between them would
+    recompute the whole aggregate).  Returns the number of marked
+    instructions.
+    """
+    memo: dict[int, bool] = {}
+    _unknown_derived(program.slot_hops.values(), memo)
+    n_marked = 0
+    for instr in program.instructions:
+        if instr.opcode == "spoof_out":
+            continue
+        checks = []
+        seen: set[int] = set()
+        for slot in instr.input_slots:
+            if slot in seen:
+                continue
+            seen.add(slot)
+            hop = program.slot_hops.get(slot)
+            if hop is None or not hop.is_matrix or not memo.get(hop.id):
+                continue
+            estimate = hop.nnz if hop.nnz >= 0 else hop.cells
+            checks.append((slot, estimate, hop.cells))
+        if checks:
+            instr.meta_checks = tuple(checks)
+            program.observe_slots.update(slot for slot, _, _ in checks)
+            n_marked += 1
+    program.has_recompile_markers = n_marked > 0
+    return n_marked

@@ -59,8 +59,27 @@ class CodegenConfig:
     outer_max_rank: int = 256
 
     # Sparse output/representation threshold (SystemML uses nnz/cells <
-    # 0.4 to pick the sparse format).
+    # 0.4 to pick the sparse format).  Drives the compiler's size
+    # estimates and the adaptive layer's format decisions (recompile
+    # boundaries, skeleton CSR switch).  The kernel library's output
+    # policy uses the shared recommend_format() default (the same 0.4);
+    # overriding this knob retunes the compiler and adaptive layers
+    # only, not per-kernel output storage.
     sparse_threshold: float = 0.4
+
+    # Adaptive recompilation (dynamic recompile, Section 2.1): lowering
+    # marks instructions whose exec-type / fusion / format choices rest
+    # on unknown (nnz < 0) or unknown-derived sparsity estimates; at
+    # those segment boundaries the executor compares estimates against
+    # observed metadata and recompiles the program remainder — with the
+    # observed values spliced in as exact leaves — when they diverge by
+    # more than this ratio.  The flag also gates the fused skeletons'
+    # observed-sparsity format switch.
+    adaptive_recompile: bool = True
+    recompile_divergence_ratio: float = 4.0
+    # Upper bound on recompilations per executor run (settles runaway
+    # oscillation; one recompile usually makes every estimate exact).
+    max_recompiles_per_run: int = 5
 
     # Candidate selection.
     max_enum_plans: int = 1 << 22  # safety cap per partition

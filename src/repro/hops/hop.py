@@ -164,17 +164,26 @@ class Hop:
 
 
 class DataOp(Hop):
-    """A matrix input bound to concrete data (a transient read)."""
+    """A matrix input bound to concrete data (a transient read).
+
+    ``nnz_unknown=True`` models inputs whose sparsity metadata is not
+    available at compile time (e.g. a read whose statistics were never
+    collected): dimensions stay known but ``nnz`` compiles as ``-1``, so
+    the optimizer assumes dense and the adaptive recompiler corrects the
+    plan once the runtime observes the actual non-zero count.
+    """
 
     kind = OpKind.DATA
 
-    def __init__(self, data: MatrixBlock, name: str = ""):
+    def __init__(self, data: MatrixBlock, name: str = "",
+                 nnz_unknown: bool = False):
         self.data = data
+        self.nnz_unknown = nnz_unknown
         super().__init__((), name=name or f"in{id(data) & 0xFFFF}")
 
     def refresh_sizes(self) -> None:
         self.rows, self.cols = self.data.shape
-        self.nnz = self.data.nnz
+        self.nnz = -1 if self.nnz_unknown else self.data.nnz
 
     def opcode(self) -> str:
         return f"data({self.name})"
@@ -437,12 +446,18 @@ class SpoofOp(Hop):
 
     kind = OpKind.SPOOF
 
-    def __init__(self, template_name, operator, output_hop: Hop, inputs: Sequence[Hop]):
+    def __init__(self, template_name, operator, output_hop: Hop, inputs: Sequence[Hop],
+                 covered_roots: Sequence[Hop] | None = None):
         self.template_name = template_name
         self.operator = operator  # GeneratedOperator
         self._out_dims = output_hop.dims
         self._out_nnz = output_hop.nnz
         self.covered_root = output_hop
+        # All original root hops this operator produces (one per
+        # aggregate for multi-aggregate operators); the adaptive
+        # recompiler de-fuses through them to re-run plan selection
+        # with observed metadata.
+        self.covered_roots = list(covered_roots) if covered_roots else [output_hop]
         super().__init__(tuple(inputs))
 
     def refresh_sizes(self) -> None:

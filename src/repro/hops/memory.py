@@ -10,14 +10,20 @@ from __future__ import annotations
 from repro.config import CodegenConfig
 from repro.hops.hop import AggBinaryOp, Hop
 from repro.hops.types import OpKind
+from repro.runtime.matrix import recommend_format
 
 
 def output_bytes(hop: Hop, threshold: float = 0.4) -> float:
-    """Estimated in-memory size of the hop's output."""
+    """Estimated in-memory size of the hop's output.
+
+    The sparse (CSR) estimate charges 8B values plus 4B column indices
+    per non-zero, and a ``rows + 1``-entry (4B) row-pointer array —
+    column indices scale with nnz, indptr with rows.
+    """
     if hop.is_scalar:
         return 8.0
-    if hop.nnz >= 0 and hop.sparsity < threshold:
-        return hop.nnz * 12.0 + hop.rows * 4.0
+    if recommend_format(hop.rows, hop.cols, hop.nnz, threshold) == "sparse":
+        return hop.nnz * 12.0 + (hop.rows + 1) * 4.0
     return hop.cells * 8.0
 
 

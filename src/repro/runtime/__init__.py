@@ -1,5 +1,6 @@
 """Runtime substrate: matrices, kernels, fused-operator skeletons."""
 
-from repro.runtime.matrix import MatrixBlock
+from repro.runtime.matrix import MatrixBlock, recommend_format
+from repro.runtime.meta import ObservedMeta, RuntimeMetadata
 
-__all__ = ["MatrixBlock"]
+__all__ = ["MatrixBlock", "recommend_format", "ObservedMeta", "RuntimeMetadata"]

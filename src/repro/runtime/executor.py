@@ -16,6 +16,18 @@ pinned), cutting peak memory for long programs.  Scheduling counters
 (tasks launched, peak concurrency, early frees) land in
 :class:`~repro.runtime.stats.RuntimeStats`.
 
+**Adaptive recompilation** (serial local runs): programs whose plan
+choices rest on unknown sparsity estimates carry recompilation markers
+(``instr.meta_checks``).  The serial loop records observed dims/nnz of
+materialized intermediates into a :class:`~repro.runtime.meta
+.RuntimeMetadata` sidecar, and at each marked instruction compares the
+estimates against the observations; when they diverge beyond
+``config.recompile_divergence_ratio`` the program remainder is
+recompiled (:mod:`repro.compiler.recompile`) with the observed values
+spliced in as exact leaves, and execution continues inside the fresh
+program.  Marked programs always take the serial path so every segment
+boundary is honored; distributed (Spark) runs never recompile.
+
 ``run`` is safe to call from several threads at once against the same
 executor (the serving scheduler multiplexes in-flight programs over one
 shared pool): every run works on its own symbol-table ``values`` array,
@@ -40,6 +52,7 @@ from repro.config import CodegenConfig
 from repro.errors import RuntimeExecError
 from repro.hops.types import ExecType
 from repro.runtime.matrix import MatrixBlock
+from repro.runtime.meta import RuntimeMetadata
 from repro.runtime.parallel import shared_budget
 from repro.runtime.stats import RuntimeStats
 
@@ -105,10 +118,13 @@ class ProgramExecutor:
     """Executes programs serially or over a shared thread pool."""
 
     def __init__(self, config: CodegenConfig, stats: RuntimeStats,
-                 spark=None):
+                 spark=None, recompiler=None):
         self.config = config
         self.stats = stats
         self.spark = spark
+        # Adaptive recompilation hook (compiler/recompile.Recompiler);
+        # None for hand-built programs executed without an engine.
+        self.recompiler = recompiler
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
         # Serializes runs that dispatch to the (stateful) simulated
@@ -222,7 +238,20 @@ class ProgramExecutor:
                 keys[slot] = ("data", id(values[slot]))
         return keys
 
+    def _adaptive_for(self, program) -> bool:
+        """Does adaptive recompilation apply to this program?"""
+        return (
+            self.recompiler is not None
+            and self.spark is None
+            and self.config.adaptive_recompile
+            and program.has_recompile_markers
+        )
+
     def _should_parallelize(self, program) -> bool:
+        if self._adaptive_for(program):
+            # Marked programs run serially so every recompilation
+            # segment boundary is honored in instruction order.
+            return False
         if self.config.executor_mode != "parallel":
             return False
         if self.n_threads < 2:
@@ -249,37 +278,132 @@ class ProgramExecutor:
         return freed
 
     def _run_serial(self, program, values: list, stats: RuntimeStats,
-                    epoch: int) -> None:
+                    epoch: int, recompiles_done: int = 0,
+                    continuation: bool = False) -> None:
         counts = list(program.consumer_counts)
         pinned = program.pinned
         slot_keys = (
             self._slot_keys(program, epoch, values)
             if self.spark is not None else None
         )
+        adaptive = self._adaptive_for(program)
+        meta = RuntimeMetadata() if adaptive else None
+        executed = 0
         for instr in program.instructions:
+            if (
+                adaptive
+                and instr.meta_checks
+                and recompiles_done < self.config.max_recompiles_per_run
+                and self._diverged(instr, values, meta, stats)
+            ):
+                self._recompile_and_finish(
+                    program, instr.index, values, stats, epoch,
+                    recompiles_done
+                )
+                break  # the remainder ran inside the recompiled program
             inputs = [values[slot] for slot in instr.input_slots]
             input_keys = output_key = None
             if slot_keys is not None:
                 input_keys = [slot_keys[slot] for slot in instr.input_slots]
                 output_key = slot_keys[instr.output_slot]
-            values[instr.output_slot] = execute_instruction(
+            result = execute_instruction(
                 instr, inputs, self.config, stats, self.spark,
                 input_keys, output_key
             )
+            values[instr.output_slot] = result
+            executed += 1
+            if meta is not None:
+                meta.observe(
+                    instr.output_slot, result,
+                    with_nnz=instr.output_slot in program.observe_slots,
+                )
             stats.n_freed_early += self._free_dead_inputs(
                 instr, values, counts, pinned
             )
-        stats.n_instructions_executed += program.n_instructions
-        stats.n_serial_runs += 1
+        stats.n_instructions_executed += executed
+        if not continuation:
+            # Recompiled remainders continue the same logical run; only
+            # the outermost invocation counts toward run totals.
+            stats.n_serial_runs += 1
         if program.n_instructions:
             stats.executor_max_concurrency = max(
                 stats.executor_max_concurrency, 1
             )
 
+    def _diverged(self, instr, values: list, meta: RuntimeMetadata,
+                  stats: RuntimeStats) -> bool:
+        """Compare estimates against observed nnz at a segment boundary.
+
+        Every comparison lands in the divergence histogram; the check
+        triggers when the worst ratio crosses the configured threshold.
+        ``+1`` smoothing keeps empty observations finite.
+        """
+        worst = 0.0
+        for slot, est_nnz, _cells in instr.meta_checks:
+            observed = meta.observed_nnz(slot, values)
+            if observed < 0:
+                continue
+            stats.n_meta_checks += 1
+            ratio = max(
+                (est_nnz + 1.0) / (observed + 1.0),
+                (observed + 1.0) / (est_nnz + 1.0),
+            )
+            stats.record_divergence(ratio)
+            if ratio >= self.config.recompile_divergence_ratio:
+                stats.n_estimate_misses += 1
+            worst = max(worst, ratio)
+        return worst >= self.config.recompile_divergence_ratio
+
+    def _recompile_and_finish(self, program, start_index: int, values: list,
+                              stats: RuntimeStats, epoch: int,
+                              recompiles_done: int) -> None:
+        """Recompile the remainder with observed metadata and run it.
+
+        The fresh program's root values are copied back into the
+        original symbol table, so callers keep reading the original
+        ``root_slots``.  A recompiled remainder without markers of its
+        own regains the parallel scheduler (the serial constraint only
+        exists to honor segment boundaries).
+        """
+        new_program, old_root_slots = self.recompiler.recompile_remainder(
+            program, start_index, values, stats
+        )
+        stats.n_recompiles += 1
+        sub_values: list = [None] * new_program.n_slots
+        for slot, value in new_program.constants:
+            sub_values[slot] = value
+        if self._should_parallelize(new_program):
+            budget = shared_budget()
+            granted = budget.acquire(
+                self.n_threads, limit=self.config.thread_budget or None
+            )
+            try:
+                if granted >= 2:
+                    self._run_parallel(
+                        new_program, sub_values, stats, granted,
+                        continuation=True,
+                    )
+                else:
+                    stats.n_budget_degraded_runs += 1
+                    self._run_serial(
+                        new_program, sub_values, stats, epoch,
+                        recompiles_done + 1, continuation=True,
+                    )
+            finally:
+                budget.release(granted)
+        else:
+            self._run_serial(
+                new_program, sub_values, stats, epoch, recompiles_done + 1,
+                continuation=True,
+            )
+        for position, old_slot in enumerate(old_root_slots):
+            values[old_slot] = sub_values[new_program.root_slots[position]]
+
     # ------------------------------------------------------------------
     def _run_parallel(self, program, values: list,
                       run_stats: RuntimeStats,
-                      max_concurrency: int | None = None) -> None:
+                      max_concurrency: int | None = None,
+                      continuation: bool = False) -> None:
         pool = self._ensure_pool()
         instructions = program.instructions
         counts = list(program.consumer_counts)
@@ -382,7 +506,8 @@ class ProgramExecutor:
             run_stats.executor_max_concurrency, state["max_running"]
         )
         run_stats.n_freed_early += state["freed"]
-        run_stats.n_parallel_runs += 1
+        if not continuation:
+            run_stats.n_parallel_runs += 1
 
 
 def run_program(program, config: CodegenConfig,

@@ -6,6 +6,12 @@ by sparsity, mirroring SystemML's dense/sparse hybrid blocks: blocks
 whose density falls below ``CodegenConfig.sparse_threshold`` are stored
 in CSR.  Compressed blocks live in :mod:`repro.runtime.compressed` and
 are deliberately a separate type, as in the paper.
+
+:func:`recommend_format` is the single storage-format policy shared by
+the compiler's size estimates (:mod:`repro.hops.memory`), the runtime
+kernels (:mod:`repro.runtime.ops`), the fused skeletons, and the
+adaptive recompiler — all format decisions flow through the same
+sparsity threshold.
 """
 
 from __future__ import annotations
@@ -22,17 +28,34 @@ SPARSE_THRESHOLD = 0.4
 ArrayLike = Union[np.ndarray, sp.spmatrix, "MatrixBlock", list]
 
 
+def recommend_format(rows: int, cols: int, nnz: int,
+                     threshold: float = SPARSE_THRESHOLD) -> str:
+    """The storage format policy: ``'sparse'`` (CSR) or ``'dense'``.
+
+    A matrix is stored sparse when its density ``nnz / cells`` falls
+    below ``threshold`` (SystemML's 0.4 rule).  Unknown nnz (``< 0``)
+    recommends dense — the conservative default the compiler assumes
+    until runtime observation corrects it.  Empty shapes are dense.
+    """
+    cells = rows * cols
+    if cells == 0 or nnz < 0:
+        return "dense"
+    return "sparse" if nnz / cells < threshold else "dense"
+
+
 class MatrixBlock:
     """A two-dimensional float64 matrix in dense or CSR representation."""
 
     # __weakref__ lets the distributed RDD-cache model guard identity-
     # keyed entries against freed-and-reallocated blocks.
-    __slots__ = ("_dense", "_sparse", "__weakref__")
+    __slots__ = ("_dense", "_sparse", "_nnz", "__weakref__")
 
     def __init__(self, data: ArrayLike):
+        self._nnz = None  # lazily computed and cached (values never mutate)
         if isinstance(data, MatrixBlock):
             self._dense = data._dense
             self._sparse = data._sparse
+            self._nnz = data._nnz
             return
         if sp.issparse(data):
             self._dense = None
@@ -135,11 +158,19 @@ class MatrixBlock:
 
     @property
     def nnz(self) -> int:
-        """Number of non-zero values (exact)."""
-        if self._sparse is not None:
-            # Explicit zeros may appear after arithmetic; count true nnz.
-            return int(np.count_nonzero(self._sparse.data))
-        return int(np.count_nonzero(self._dense))
+        """Number of non-zero values (exact, cached).
+
+        Blocks are value-immutable by convention (kernels always build
+        fresh blocks), so the count is computed once; representation
+        switches preserve it.
+        """
+        if self._nnz is None:
+            if self._sparse is not None:
+                # Explicit zeros may appear after arithmetic; count true nnz.
+                self._nnz = int(np.count_nonzero(self._sparse.data))
+            else:
+                self._nnz = int(np.count_nonzero(self._dense))
+        return self._nnz
 
     @property
     def sparsity(self) -> float:
@@ -151,9 +182,13 @@ class MatrixBlock:
 
     @property
     def size_bytes(self) -> float:
-        """In-memory size estimate in bytes (8B values, 4B indices)."""
+        """In-memory size estimate in bytes.
+
+        CSR stores 8B values and 4B column indices per stored entry,
+        plus a ``rows + 1``-entry (4B) indptr array.
+        """
         if self._sparse is not None:
-            return self._sparse.nnz * 12.0 + self.rows * 4.0
+            return self._sparse.nnz * 12.0 + (self.rows + 1) * 4.0
         return self.rows * self.cols * 8.0
 
     # ------------------------------------------------------------------
@@ -171,18 +206,18 @@ class MatrixBlock:
             return self._sparse
         return sp.csr_matrix(self._dense)
 
-    def examine_representation(self) -> "MatrixBlock":
-        """Switch to the representation suggested by actual sparsity.
+    def examine_representation(self, threshold: float = SPARSE_THRESHOLD) -> "MatrixBlock":
+        """Switch to the representation :func:`recommend_format` suggests.
 
         Returns ``self`` (mutated) for chaining, like SystemML's
-        ``examSparsity``.
+        ``examSparsity``.  Values are unchanged, so the cached nnz
+        survives the representation switch.
         """
-        cells = self.rows * self.cols
-        dense_target = cells == 0 or self.nnz / cells >= SPARSE_THRESHOLD
-        if self.is_sparse and dense_target:
+        target = recommend_format(self.rows, self.cols, self.nnz, threshold)
+        if self.is_sparse and target == "dense":
             self._dense = np.asarray(self._sparse.todense())
             self._sparse = None
-        elif not self.is_sparse and not dense_target:
+        elif not self.is_sparse and target == "sparse":
             self._sparse = sp.csr_matrix(self._dense)
             self._dense = None
         elif self.is_sparse:

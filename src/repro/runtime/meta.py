@@ -1,0 +1,75 @@
+"""Observed runtime metadata: the executor's per-run sidecar.
+
+The compiler works on *estimates*; the executor sees *facts*.  A
+:class:`RuntimeMetadata` instance accompanies one executor run and
+records the observed dimensions and non-zero counts of materialized
+intermediates per symbol-table slot.  At recompilation segment
+boundaries (instructions carrying ``meta_checks``) the executor
+compares these observations against the compile-time estimates and
+hands the live values to the recompiler when they diverge.
+
+Non-zero counting over a dense block is O(cells), so eager nnz
+observation is restricted to the slots that some marked instruction
+will actually check (``Program.observe_slots``); all other slots record
+dimensions only, and :meth:`observed_nnz` fills nnz lazily on demand
+(``MatrixBlock`` caches the count, so repeated checks of one slot are
+free).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.matrix import MatrixBlock
+
+
+class ObservedMeta:
+    """Observed shape and non-zero count of one materialized value."""
+
+    __slots__ = ("rows", "cols", "nnz")
+
+    def __init__(self, rows: int, cols: int, nnz: int = -1):
+        self.rows = rows
+        self.cols = cols
+        self.nnz = nnz  # -1 = not (yet) counted
+
+    def __repr__(self) -> str:
+        return f"ObservedMeta({self.rows}x{self.cols}, nnz={self.nnz})"
+
+
+class RuntimeMetadata:
+    """Per-run sidecar mapping symbol-table slots to observed metadata."""
+
+    __slots__ = ("_slots",)
+
+    def __init__(self):
+        self._slots: dict[int, ObservedMeta] = {}
+
+    def observe(self, slot: int, value, with_nnz: bool = False) -> None:
+        """Record a materialized intermediate (matrix values only)."""
+        if isinstance(value, MatrixBlock):
+            nnz = value.nnz if with_nnz else -1
+            self._slots[slot] = ObservedMeta(value.rows, value.cols, nnz)
+
+    def get(self, slot: int) -> ObservedMeta | None:
+        return self._slots.get(slot)
+
+    def observed_nnz(self, slot: int, values: list) -> int:
+        """The observed nnz of ``values[slot]``, counting lazily.
+
+        Returns -1 for slots that do not hold a matrix (scalars,
+        distributed handles) — callers skip the divergence check then.
+        """
+        meta = self._slots.get(slot)
+        if meta is not None and meta.nnz >= 0:
+            return meta.nnz
+        value = values[slot]
+        if not isinstance(value, MatrixBlock):
+            return -1
+        nnz = value.nnz
+        if meta is None:
+            self._slots[slot] = ObservedMeta(value.rows, value.cols, nnz)
+        else:
+            meta.nnz = nnz
+        return nnz
+
+    def __len__(self) -> int:
+        return len(self._slots)

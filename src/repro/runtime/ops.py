@@ -6,8 +6,11 @@ their outputs.  The "Base" engine of the experiments executes every HOP
 with exactly one kernel call, which is what operator fusion eliminates.
 
 All kernels accept scalars (Python floats) where SystemML would accept
-scalar operands, and pick the output representation (dense vs sparse)
-by the sparsity of the result.
+scalar operands.  Kernels dispatch per operator and input format —
+sparse-sparse and sparse-dense element-wise, aggregation, reorg, and
+indexing paths keep CSR inputs CSR whenever the output stays sparse —
+and every matrix result leaves through :func:`_output`, which applies
+the shared :func:`~repro.runtime.matrix.recommend_format` policy.
 """
 
 from __future__ import annotations
@@ -76,6 +79,23 @@ _BINARY_FUNCS = {
 # provided the other operand is a matrix ('*' ) -- used for sparse outputs.
 _ZERO_PRESERVING_BINARY = {"*"}
 
+# Same-shape sparse-sparse kernels: ops with f(0, 0) == 0, so the output
+# pattern is contained in the union of the operands' patterns and scipy
+# computes over stored entries only (no densification of either side).
+_SPARSE_SPARSE_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a.multiply(b),
+    "min": lambda a, b: a.minimum(b),
+    "max": lambda a, b: a.maximum(b),
+}
+
+
+def _output(result) -> MatrixBlock:
+    """Single exit point for matrix results: wrap and store in the
+    representation the shared format policy recommends."""
+    return MatrixBlock(result).examine_representation()
+
 
 def _is_scalar(value: Value) -> bool:
     return not isinstance(value, MatrixBlock)
@@ -101,9 +121,9 @@ def unary(op: str, x: Value) -> Value:
     if x.is_sparse and op in SPARSE_SAFE_UNARY:
         csr = x.to_csr().copy()
         csr.data = func(csr.data)
-        return MatrixBlock(csr).examine_representation()
+        return _output(csr)
     out = func(x.to_dense())
-    return MatrixBlock(out).examine_representation()
+    return _output(out)
 
 
 def cumsum(x: Value, axis: int = 0) -> Value:
@@ -134,20 +154,29 @@ def _binary_matrix_scalar(op, func, a: Value, b: Value) -> MatrixBlock:
     if mat.is_sparse and float(apply_(np.float64(0.0))) == 0.0:
         csr = mat.to_csr().copy()
         csr.data = apply_(csr.data)
-        return MatrixBlock(csr).examine_representation()
+        return _output(csr)
     out = apply_(mat.to_dense())
-    return MatrixBlock(np.asarray(out, dtype=np.float64)).examine_representation()
+    return _output(np.asarray(out, dtype=np.float64))
 
 
 def _binary_matrix_matrix(op, func, a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
+    """Format dispatch for matrix (+) matrix element-wise kernels.
+
+    Priority order: same-shape sparse-sparse kernels (both operands stay
+    CSR), sparse-dense multiply over the sparse pattern, sparse-vector
+    broadcast scaling, then the dense fallback.
+    """
     out_shape = _binary_out_shape(a.shape, b.shape)
     same_shape = a.shape == b.shape
+    if same_shape and a.is_sparse and b.is_sparse and op in _SPARSE_SPARSE_BINARY:
+        result = _SPARSE_SPARSE_BINARY[op](a.to_csr(), b.to_csr())
+        return _output(sp.csr_matrix(result))
     if op in _ZERO_PRESERVING_BINARY and same_shape and (a.is_sparse or b.is_sparse):
-        result = a.to_csr().multiply(b.to_csr())
-        return MatrixBlock(sp.csr_matrix(result)).examine_representation()
-    if op in {"+", "-"} and same_shape and a.is_sparse and b.is_sparse:
-        result = a.to_csr() + b.to_csr() if op == "+" else a.to_csr() - b.to_csr()
-        return MatrixBlock(sp.csr_matrix(result)).examine_representation()
+        # One sparse operand: multiply over its stored pattern without
+        # converting the dense operand to CSR.
+        mat, other = (a, b) if a.is_sparse else (b, a)
+        result = mat.to_csr().multiply(other.to_dense())
+        return _output(sp.csr_matrix(result))
     if op == "*" and (a.is_sparse or b.is_sparse) and not same_shape:
         # Sparse matrix times broadcast vector stays sparse.
         mat, vec = (a, b) if not a.is_vector() or a.shape == out_shape else (b, a)
@@ -155,15 +184,15 @@ def _binary_matrix_matrix(op, func, a: MatrixBlock, b: MatrixBlock) -> MatrixBlo
             dense_vec = vec.to_dense()
             if dense_vec.shape == (out_shape[0], 1):
                 scaled = sp.diags(dense_vec.ravel()) @ mat.to_csr()
-                return MatrixBlock(sp.csr_matrix(scaled)).examine_representation()
+                return _output(sp.csr_matrix(scaled))
             if dense_vec.shape == (1, out_shape[1]):
                 scaled = mat.to_csr() @ sp.diags(dense_vec.ravel())
-                return MatrixBlock(sp.csr_matrix(scaled)).examine_representation()
+                return _output(sp.csr_matrix(scaled))
     lhs = _broadcast_dense(a.to_dense(), out_shape)
     rhs = _broadcast_dense(b.to_dense(), out_shape)
     with np.errstate(divide="ignore", invalid="ignore"):
         out = func(lhs, rhs)
-    return MatrixBlock(np.asarray(out, dtype=np.float64)).examine_representation()
+    return _output(np.asarray(out, dtype=np.float64))
 
 
 def _binary_out_shape(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
@@ -197,7 +226,7 @@ def ternary(op: str, a: Value, b: Value, c: Value) -> Value:
             return _broadcast_dense(v.to_dense(), out_shape)
 
         out = np.where(dense_of(a) != 0, dense_of(b), dense_of(c))
-        return MatrixBlock(out).examine_representation()
+        return _output(out)
     raise RuntimeExecError(f"unknown ternary op '{op}'")
 
 
@@ -211,6 +240,15 @@ def agg_unary(op: str, x: Value, direction: str = "full") -> Value:
         value = float(x)
         return value * value if op == "sumsq" else value
     axis = {"full": None, "row": 1, "col": 0}[direction]
+    if x.is_sparse and op in {"min", "max"}:
+        # scipy accounts for implicit zeros, so CSR inputs reduce
+        # without densification.
+        csr = x.to_csr()
+        result = csr.min(axis=axis) if op == "min" else csr.max(axis=axis)
+        if axis is None:
+            return float(result)
+        out = np.asarray(result.todense(), dtype=np.float64)
+        return MatrixBlock(out.reshape(-1, 1) if axis == 1 else out.reshape(1, -1))
     if x.is_sparse and op in {"sum", "sumsq", "mean"}:
         csr = x.to_csr()
         target = csr.multiply(csr) if op == "sumsq" else csr
@@ -247,14 +285,14 @@ def matmult(a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
         raise ShapeError(f"matmult shapes {a.shape} x {b.shape}")
     if a.is_sparse and b.is_sparse:
         out = a.to_csr() @ b.to_csr()
-        return MatrixBlock(sp.csr_matrix(out)).examine_representation()
+        return _output(sp.csr_matrix(out))
     if a.is_sparse:
         out = a.to_csr() @ b.to_dense()
-        return MatrixBlock(np.asarray(out)).examine_representation()
+        return _output(np.asarray(out))
     if b.is_sparse:
         out = (b.to_csr().T @ a.to_dense().T).T
-        return MatrixBlock(np.ascontiguousarray(out)).examine_representation()
-    return MatrixBlock(a.to_dense() @ b.to_dense()).examine_representation()
+        return _output(np.ascontiguousarray(out))
+    return _output(a.to_dense() @ b.to_dense())
 
 
 def transpose(x: Value) -> Value:
@@ -273,7 +311,7 @@ def rix(x: MatrixBlock, rl: int, ru: int, cl: int, cu: int) -> MatrixBlock:
             f"index [{rl}:{ru}, {cl}:{cu}] out of bounds for {x.shape}"
         )
     if x.is_sparse:
-        return MatrixBlock(x.to_csr()[rl:ru, cl:cu]).examine_representation()
+        return _output(x.to_csr()[rl:ru, cl:cu])
     return MatrixBlock(np.ascontiguousarray(x.to_dense()[rl:ru, cl:cu]))
 
 

@@ -26,7 +26,7 @@ from repro.codegen.cplan import Access, CPlan, OutType
 from repro.codegen.template import TemplateType
 from repro.errors import RuntimeExecError
 from repro.runtime.compressed import CompressedMatrix
-from repro.runtime.matrix import MatrixBlock
+from repro.runtime.matrix import MatrixBlock, recommend_format
 from repro.runtime.parallel import run_tasks
 from repro.runtime.sideinput import SideInput
 
@@ -143,11 +143,42 @@ def execute_operator(operator, inputs: list, config, stats=None,
     cplan = operator.cplan
     if stats is not None:
         stats.record_spoof(cplan.ttype.value)
+    inputs = _consult_observed_sparsity(cplan, inputs, config, stats)
     if allow_parallel and config.effective_intra_op_threads() > 1:
         plan = _plan_intra_op(cplan, inputs, config)
         if plan is not None:
             return _execute_intra_op(operator, plan, config, stats)
     return _execute_serial(operator, inputs, config)
+
+
+def _consult_observed_sparsity(cplan: CPlan, inputs: list, config,
+                               stats=None) -> list:
+    """Observed-sparsity format consult for sparse-safe plans.
+
+    A dense-stored main input whose *actual* density falls below the
+    shared threshold switches to CSR before partitioning/execution, so
+    sparse-safe skeletons (and the intra-op partitioner's CSR row-range
+    slicing) run over non-zeros even when the compiler's estimate —
+    or the producer's storage choice — said dense.  Gated by
+    ``adaptive_recompile`` so estimate-frozen baselines stay frozen.
+    """
+    if not (config.adaptive_recompile and cplan.sparse_safe):
+        return inputs
+    if not 0 <= cplan.main_index < len(inputs):
+        return inputs
+    main = inputs[cplan.main_index]
+    if not isinstance(main, MatrixBlock) or main.is_sparse:
+        return inputs
+    fmt = recommend_format(
+        main.rows, main.cols, main.nnz, config.sparse_threshold
+    )
+    if fmt != "sparse":
+        return inputs
+    if stats is not None:
+        stats.n_format_conversions += 1
+    inputs = list(inputs)
+    inputs[cplan.main_index] = MatrixBlock(main.to_csr())
+    return inputs
 
 
 def _execute_serial(operator, inputs: list, config):

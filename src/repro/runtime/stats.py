@@ -66,6 +66,16 @@ class RuntimeStats:
     n_instructions_lowered: int = 0
     pipeline_pass_seconds: dict = field(default_factory=dict)
 
+    # Adaptive recompilation (runtime metadata feedback loop).
+    n_marked_instructions: int = 0  # lowered instructions carrying meta checks
+    n_meta_checks: int = 0  # estimate-vs-observed comparisons performed
+    n_estimate_misses: int = 0  # checks whose divergence crossed the ratio
+    n_recompiles: int = 0  # program remainders recompiled mid-run
+    n_format_conversions: int = 0  # blocks re-formatted by observed sparsity
+    # Histogram of observed estimate divergence (ratio buckets by power
+    # of two: '1-2', '2-4', ..., '>=1024').
+    recompile_divergence_hist: dict = field(default_factory=dict)
+
     # Runtime executor scheduling.
     n_instructions_executed: int = 0
     n_parallel_tasks: int = 0  # instructions dispatched to the thread pool
@@ -173,6 +183,26 @@ class RuntimeStats:
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_lookups - self.plan_cache_hits,
             "plan_cache_size": self.plan_cache_size,
+        }
+
+    def record_divergence(self, ratio: float) -> None:
+        """Bucket one observed estimate divergence (power-of-two bins)."""
+        bucket = 1
+        while bucket < 1024 and ratio >= 2 * bucket:
+            bucket *= 2
+        label = f">={bucket}" if bucket >= 1024 else f"{bucket}-{2 * bucket}"
+        hist = self.recompile_divergence_hist
+        hist[label] = hist.get(label, 0) + 1
+
+    def adaptive_summary(self) -> dict:
+        """Adaptive-recompilation counters (bench/doc observability)."""
+        return {
+            "n_marked_instructions": self.n_marked_instructions,
+            "n_meta_checks": self.n_meta_checks,
+            "n_estimate_misses": self.n_estimate_misses,
+            "n_recompiles": self.n_recompiles,
+            "n_format_conversions": self.n_format_conversions,
+            "recompile_divergence_hist": dict(self.recompile_divergence_hist),
         }
 
     def record_spoof(self, template_name: str) -> None:

@@ -28,6 +28,7 @@ from repro.serve.symbolic import (
     SymbolicBlock,
     input_signature,
     normalize_inputs,
+    sparsity_class,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "SymbolicBlock",
     "input_signature",
     "normalize_inputs",
+    "sparsity_class",
 ]

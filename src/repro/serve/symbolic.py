@@ -9,10 +9,14 @@ block in its constant slots, and the serving layer substitutes each
 request's real block through the executor's ``bindings`` overlay —
 the program itself is never mutated.
 
-:func:`input_signature` is the specialization key: exact dimensions and
-the dense/sparse storage class per matrix input, and the literal value
-per scalar input (scalars are baked into the compiled plan exactly as
-SystemML literals are, so a new scalar value is a new specialization).
+:func:`input_signature` is the specialization key: exact dimensions,
+the dense/sparse storage class, and a coarse :func:`sparsity_class` per
+matrix input, and the literal value per scalar input (scalars are baked
+into the compiled plan exactly as SystemML literals are, so a new
+scalar value is a new specialization).  The sparsity class keeps a
+prepared program serving both dense and ultra-sparse requests from
+pricing them with one shared plan: each class compiles its own
+specialization with representative nnz estimates.
 """
 
 from __future__ import annotations
@@ -21,9 +25,30 @@ import numpy as np
 
 from repro.errors import ServingError
 from repro.runtime.compressed import CompressedMatrix
-from repro.runtime.matrix import MatrixBlock
+from repro.runtime.matrix import SPARSE_THRESHOLD, MatrixBlock
 
 _SCALAR_TYPES = (int, float, np.floating, np.integer)
+
+
+def sparsity_class(value, threshold: float = SPARSE_THRESHOLD) -> str:
+    """Coarse sparsity bucket of a request input (specialization key).
+
+    ``hyper`` (< 1% dense), ``sparse`` (below the shared CSR
+    threshold), or ``dense``.  Coarse on purpose: requests whose
+    densities share a bucket get one plan compiled with representative
+    nnz estimates, instead of one specialization per exact nnz (which
+    would never hit) or one mispriced plan for everything (which pays
+    dense costs on sparse traffic or vice versa).
+    """
+    cells = value.rows * value.cols
+    if cells == 0:
+        return "dense"
+    density = value.nnz / cells
+    if density < 0.01:
+        return "hyper"
+    if density < threshold:
+        return "sparse"
+    return "dense"
 
 
 class SymbolicBlock:
@@ -60,7 +85,7 @@ class SymbolicBlock:
     @property
     def size_bytes(self) -> float:
         if self._sparse:
-            return self._nnz * 12.0 + self.rows * 4.0
+            return self._nnz * 12.0 + (self.rows + 1) * 4.0
         return self.rows * self.cols * 8.0
 
     def __repr__(self) -> str:
@@ -105,7 +130,8 @@ def input_signature(inputs: dict) -> tuple:
             items.append((name, "c", id(value)))
         else:
             storage = "sparse" if value.is_sparse else "dense"
-            items.append((name, "m", value.rows, value.cols, storage))
+            items.append((name, "m", value.rows, value.cols, storage,
+                          sparsity_class(value)))
     return tuple(items)
 
 

@@ -35,6 +35,37 @@ class TestSignatures:
         b = input_signature(normalize_inputs({"b": 1.5}))
         assert a != b
 
+    def test_coarse_sparsity_class_keys_the_signature(self):
+        # Dense-stored but nearly-empty inputs must not share a plan
+        # with truly dense traffic of the same shape and storage.
+        hyper = np.zeros((60, 12))
+        hyper[0, 0] = 1.0
+        sig_hyper = input_signature(normalize_inputs({"X": hyper}))
+        sig_dense = input_signature(normalize_inputs({"X": XD}))
+        assert sig_hyper != sig_dense
+        # Similar densities fall into one class: no per-nnz blowup.
+        a = MatrixBlock.rand(60, 12, sparsity=0.10, seed=1)
+        b = MatrixBlock.rand(60, 12, sparsity=0.15, seed=2)
+        assert input_signature(normalize_inputs({"X": a})) == input_signature(
+            normalize_inputs({"X": b})
+        )
+
+    def test_one_specialization_per_sparsity_class(self):
+        engine = make_engine("gen")
+        prepared = engine.prepare(_score_builder, name="score")
+        dense_in = {"X": XD, "w": WD, "b": 0.5}
+        hyper = np.zeros((60, 12))
+        hyper[3, 4] = 2.0
+        hyper_in = {"X": hyper, "w": WD, "b": 0.5}
+        for _ in range(2):  # repeats hit the cached specializations
+            prepared.run(dense_in)
+            prepared.run(hyper_in)
+        assert prepared.n_specializations == 2
+        assert engine.stats.n_specialization_hits == 2
+        np.testing.assert_allclose(
+            prepared.run(hyper_in).to_dense(), hyper @ WD + 0.5
+        )
+
 
 class TestPreparedExpression:
     @pytest.mark.parametrize("mode", ALL_MODES)
