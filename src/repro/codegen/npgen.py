@@ -1,0 +1,437 @@
+"""Vectorized-kernel code generation (second codegen backend).
+
+:mod:`repro.codegen.pygen` emits the *interpreted* tier: a ``genexec``
+body that the hand-coded skeletons invoke per tile / non-zero batch /
+row, dispatching one Python call per tile into the shared vector
+primitives.  This module emits the *compiled* tier: one ``genkernel``
+per operator that consumes whole runtime values in a single call —
+
+* **Cell/MAgg** kernels run over the full dense value array with the
+  output aggregation folded into the body; sum-of-products bodies
+  contract into a single ``np.einsum`` pass (no materialized
+  intermediates, the paper's fused single-pass claim),
+* **Row** kernels run over the whole dense row block with side inputs
+  prepared once; when every use of the main input is a matrix multiply
+  the kernel is *CSR-main-safe* and executes directly on the sparse
+  main without densifying,
+* **Outer** kernels evaluate the per-non-zero body over batched CSR row
+  ranges (the driver in :mod:`repro.runtime.npexec` owns chunking and
+  the U/V/W products).
+
+Kernels are attached to the :class:`~repro.codegen.pygen
+.GeneratedOperator` that the semantic-hash plan cache shares across
+programs, serving specializations, and adaptive recompiles, so a kernel
+compiles once per equivalent operator.  An optional Numba tier JIT-jits
+a per-cell loop variant behind ``config.numba_kernels``; when Numba is
+absent or the body is outside the jittable subset, execution degrades
+to the vectorized NumPy kernel with a recorded fallback.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.codegen.cplan import Access, CNode, CPlan, OutType
+from repro.codegen.pygen import (
+    _SCALAR_BINARY_FMT,
+    _SCALAR_UNARY_EXPR,
+    _Emitter,
+    operator_name,
+)
+from repro.codegen.template import TemplateType
+from repro.errors import CodegenError
+
+_REDUCERS = {"sum": "np.sum", "min": "np.min", "max": "np.max"}
+
+#: Cell-template output variants (the MAgg template shares them).
+_CELL_TEMPLATES = (TemplateType.CELL, TemplateType.MAGG)
+
+
+@dataclass
+class CompiledKernel:
+    """A compiled vectorized kernel attached to a generated operator."""
+
+    name: str
+    source: str
+    entry: object  # genkernel callable
+    csr_main_safe: bool = False
+    # Optional Numba tier: the per-cell loop variant and its jitted
+    # callable.  ``numba_failed`` pins the kernel to the NumPy tier
+    # after an unavailable import or a jit/runtime failure.
+    numba_source: str = ""
+    numba_entry: object = None
+    numba_failed: bool = False
+
+    @property
+    def tier(self) -> str:
+        if self.numba_entry is not None and not self.numba_failed:
+            return "numba"
+        return "numpy"
+
+
+def kernel_name(cplan: CPlan) -> str:
+    """Deterministic kernel name (operator name + kernel suffix)."""
+    return operator_name(cplan) + "_k"
+
+
+# ----------------------------------------------------------------------
+# Whole-array NumPy kernel emission
+# ----------------------------------------------------------------------
+def generate_kernel_source(cplan: CPlan) -> tuple[str, str, bool]:
+    """Emit the vectorized kernel for a CPlan.
+
+    Returns ``(name, source, csr_main_safe)``.  The ``genkernel``
+    signature mirrors ``genexec`` (``(a, b, s)``; Outer adds ``uv``)
+    but ``a``/``b`` are whole runtime values, and for the Cell and Row
+    templates the output aggregation is folded into the kernel so one
+    call produces the finished raw result.
+    """
+    name = kernel_name(cplan)
+    emitter = _Emitter(cplan, inline_primitives=False)
+    body_lines, result_vars = emitter.emit_roots()
+    csr_safe = cplan.ttype is TemplateType.ROW and _csr_main_safe(cplan)
+
+    if cplan.ttype is TemplateType.OUTER:
+        header = "def genkernel(a, uv, b, s):"
+        final = [f"return {result_vars[0]}"]
+    elif cplan.ttype is TemplateType.ROW:
+        header = "def genkernel(a, b, s):"
+        final = _finalize_row(cplan, result_vars)
+    elif cplan.ttype in _CELL_TEMPLATES:
+        header = "def genkernel(a, b, s):"
+        body_lines, final = _finalize_cell(cplan, emitter, body_lines,
+                                           result_vars)
+    else:
+        raise CodegenError(f"no vectorized kernel for {cplan.ttype}")
+
+    lines = [
+        f"# generated vectorized kernel {name}: {cplan.ttype.value} "
+        f"({cplan.out_type.value})",
+        "import numpy as np",
+        "from repro.runtime import vector as vp",
+        "",
+        f"CSR_MAIN_SAFE = {csr_safe}",
+        "",
+        header,
+    ]
+    lines.extend("    " + line for line in body_lines)
+    lines.extend("    " + line for line in final)
+    return name, "\n".join(lines) + "\n", csr_safe
+
+
+def _finalize_row(cplan: CPlan, result_vars: list[str]) -> list[str]:
+    res = result_vars[0]
+    out = cplan.out_type
+    if out in (OutType.NO_AGG, OutType.ROW_AGG):
+        width = "1" if out is OutType.ROW_AGG else f"np.shape({res})[-1]"
+        return [
+            f"return np.ascontiguousarray("
+            f"np.broadcast_to({res}, (a.shape[0], {width})))"
+        ]
+    if out in (OutType.COL_AGG, OutType.COL_AGG_T):
+        return [
+            f"_r = np.asarray({res})",
+            "return _r.reshape(1, -1) if _r.ndim == 1 else _r",
+        ]
+    if out is OutType.FULL_AGG:
+        return [f"return float({res})"]
+    raise CodegenError(f"bad row out type {out}")
+
+
+def _finalize_cell(cplan: CPlan, emitter: _Emitter, body_lines: list[str],
+                   result_vars: list[str]) -> tuple[list[str], list[str]]:
+    """Fold the cell/multi-agg output aggregation into the kernel.
+
+    Sum-aggregated roots that are pure products of full-shape inputs
+    drop their emitted body and contract through a single
+    ``np.einsum`` pass instead (no materialized intermediates).
+    """
+    out = cplan.out_type
+    agg = cplan.agg_ops[0] if cplan.agg_ops else "sum"
+    red = _REDUCERS.get(agg, "np.sum")
+    res = result_vars[0]
+    if out is OutType.NO_AGG:
+        final = [
+            f"return np.ascontiguousarray(np.broadcast_to("
+            f"{res}, (a.shape[0], np.shape({res})[-1])))"
+        ]
+        return body_lines, final
+    if out is OutType.ROW_AGG:
+        final = [
+            f"return {red}(np.broadcast_to({res}, a.shape), "
+            "axis=1, keepdims=True)"
+        ]
+        return body_lines, final
+    if out is OutType.COL_AGG:
+        final = [
+            f"return {red}(np.broadcast_to({res}, a.shape), "
+            "axis=0).reshape(1, -1)"
+        ]
+        return body_lines, final
+    if out is OutType.FULL_AGG:
+        einsum = _einsum_expr(cplan, cplan.roots[0], agg)
+        if einsum is not None:
+            return [], [f"return float({einsum})"]
+        return body_lines, [f"return float({red}({res}))"]
+    if out is OutType.MULTI_AGG:
+        # Per-root aggregations; einsum-eligible roots contract in one
+        # pass, the rest reduce their emitted body value.
+        final = []
+        parts = []
+        for k, root in enumerate(cplan.roots):
+            agg_k = cplan.agg_ops[k] if k < len(cplan.agg_ops) else "sum"
+            red_k = _REDUCERS.get(agg_k, "np.sum")
+            einsum = _einsum_expr(cplan, root, agg_k)
+            expr = einsum if einsum is not None else f"{red_k}({result_vars[k]})"
+            final.append(f"_p{k} = float({expr})")
+            parts.append(f"[_p{k}]")
+        final.append(f"return np.array([{', '.join(parts)}])")
+        return body_lines, final
+    raise CodegenError(f"bad cell out type {out}")
+
+
+def _einsum_expr(cplan: CPlan, root: CNode, agg: str) -> str | None:
+    """Single-pass einsum contraction for sum(product-of-inputs) roots.
+
+    Eligible when the aggregation is a sum and the root is a (possibly
+    squared) product of plain input references that all share one shape
+    class — einsum does not broadcast, so mixed vector/matrix products
+    keep the generic body.
+    """
+    if agg != "sum":
+        return None
+    factors: list[CNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.op == "b:*":
+            stack.extend(node.inputs)
+        elif node.op == "u:pow2":
+            stack.extend([node.inputs[0], node.inputs[0]])
+        elif node.op == "data":
+            spec = cplan.inputs[node.input_index]
+            if spec.access is Access.SCALAR:
+                return None
+            factors.append(node)
+        else:
+            return None
+    if len(factors) < 2:
+        return None
+    classes = {cplan.inputs[f.input_index].shape_class() for f in factors}
+    if len(classes) != 1:
+        return None
+    operands = []
+    for factor in factors:
+        if factor.input_index == cplan.main_index:
+            operands.append("a")
+        else:
+            side = [
+                idx for idx, spec in enumerate(cplan.inputs)
+                if idx != cplan.main_index and spec.access is not Access.SCALAR
+            ]
+            operands.append(f"b[{side.index(factor.input_index)}]")
+    subscript = ",".join(["ij"] * len(operands)) + "->"
+    return f"np.einsum('{subscript}', {', '.join(operands)})"
+
+
+def _csr_main_safe(cplan: CPlan) -> bool:
+    """True when the Row body can consume a CSR main input directly.
+
+    Every reference to the main input must feed a matrix multiply
+    (``mm``/``touter``) — scipy sparse @ dense yields dense, so the
+    rest of the body runs on dense intermediates — and the main must
+    not itself be an output root.
+    """
+    main_ids: set[int] = set()
+    seen: set[int] = set()
+    stack = list(cplan.roots)
+    nodes: list[CNode] = []
+    while stack:
+        node = stack.pop()
+        if node.id in seen:
+            continue
+        seen.add(node.id)
+        nodes.append(node)
+        if node.op == "data" and node.input_index == cplan.main_index:
+            main_ids.add(node.id)
+        stack.extend(node.inputs)
+    if not main_ids:
+        return False
+    if any(root.id in main_ids for root in cplan.roots):
+        return False
+    for node in nodes:
+        for child in node.inputs:
+            if child.id in main_ids and node.op not in ("mm", "touter"):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Numba per-cell variant (optional tier)
+# ----------------------------------------------------------------------
+def generate_numba_source(cplan: CPlan) -> str | None:
+    """Emit a fixed-arity per-cell loop variant for Numba jitting.
+
+    Covers dense Cell/MAgg plans whose body is a pure per-cell
+    expression, for the NO_AGG / ROW_AGG / FULL_AGG output variants.
+    Returns ``None`` when the plan is outside this subset — callers
+    degrade to the NumPy kernel and record a fallback.
+    """
+    if cplan.ttype not in _CELL_TEMPLATES or len(cplan.roots) != 1:
+        return None
+    if cplan.out_type not in (OutType.NO_AGG, OutType.ROW_AGG,
+                              OutType.FULL_AGG):
+        return None
+    agg = cplan.agg_ops[0] if cplan.agg_ops else "sum"
+    if cplan.out_type is not OutType.NO_AGG and agg not in ("sum", "min", "max"):
+        return None
+
+    side_slot: dict[int, int] = {}
+    scalar_slot: dict[int, int] = {}
+    for idx, spec in enumerate(cplan.inputs):
+        if idx == cplan.main_index:
+            continue
+        if spec.access is Access.SCALAR:
+            scalar_slot[idx] = len(scalar_slot)
+        else:
+            side_slot[idx] = len(side_slot)
+
+    counter = itertools.count(1)
+    exprs: dict[int, str] = {}
+    body: list[str] = []
+
+    def expand(node: CNode) -> str | None:
+        if node.id in exprs:
+            return exprs[node.id]
+        kind, _, detail = node.op.partition(":")
+        if node.op == "lit":
+            expr = repr(node.value)
+        elif node.op == "data":
+            if node.input_index == cplan.main_index:
+                expr = "a[_i, _j]"
+            elif node.input_index in scalar_slot:
+                expr = f"s{scalar_slot[node.input_index]}"
+            else:
+                slot = side_slot[node.input_index]
+                expr = f"b{slot}[_i % _b{slot}_r, _j % _b{slot}_c]"
+        elif kind == "u" and detail in _SCALAR_UNARY_EXPR:
+            inner = expand(node.inputs[0])
+            if inner is None:
+                return None
+            expr = _SCALAR_UNARY_EXPR[detail].format(inner)
+        elif kind == "b" and detail in _SCALAR_BINARY_FMT:
+            left = expand(node.inputs[0])
+            right = expand(node.inputs[1])
+            if left is None or right is None:
+                return None
+            expr = _SCALAR_BINARY_FMT[detail].format(left, right)
+        else:
+            return None
+        var = f"v{next(counter)}"
+        exprs[node.id] = var
+        body.append(f"{var} = {expr}")
+        return var
+
+    cell = expand(cplan.roots[0])
+    if cell is None:
+        return None
+
+    sides = "".join(f", b{k}" for k in range(len(side_slot)))
+    scalars = "".join(f", s{k}" for k in range(len(scalar_slot)))
+    lines = [
+        f"def genkernel_numba(a{sides}{scalars}):",
+        "    bs, n = a.shape",
+    ]
+    for k in range(len(side_slot)):
+        lines.append(f"    _b{k}_r, _b{k}_c = b{k}.shape")
+    out = cplan.out_type
+    if out is OutType.NO_AGG:
+        lines.append("    out = np.empty((bs, n))")
+    elif out is OutType.ROW_AGG:
+        lines.append("    out = np.empty((bs, 1))")
+    else:
+        init = {"sum": "0.0", "min": "np.inf", "max": "-np.inf"}[agg]
+        lines.append(f"    acc = {init}")
+    lines.append("    for _i in range(bs):")
+    if out is OutType.ROW_AGG:
+        init = {"sum": "0.0", "min": "np.inf", "max": "-np.inf"}[agg]
+        lines.append(f"        _racc = {init}")
+    lines.append("        for _j in range(n):")
+    lines.extend("            " + line for line in body)
+    combine = {
+        "sum": "{0} + {1}", "min": "min({0}, {1})", "max": "max({0}, {1})"
+    }[agg if out is not OutType.NO_AGG else "sum"]
+    if out is OutType.NO_AGG:
+        lines.append(f"            out[_i, _j] = {cell}")
+        lines.append("    return out")
+    elif out is OutType.ROW_AGG:
+        lines.append(f"            _racc = {combine.format('_racc', cell)}")
+        lines.append("        out[_i, 0] = _racc")
+        lines.append("    return out")
+    else:
+        lines.append(f"            acc = {combine.format('acc', cell)}")
+        lines.append("    return acc")
+    header = [
+        f"# generated numba kernel variant: {cplan.ttype.value} "
+        f"({cplan.out_type.value})",
+        "import numpy as np",
+        "",
+    ]
+    return "\n".join(header + lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Kernel compilation
+# ----------------------------------------------------------------------
+def compile_kernel(cplan: CPlan, config, stats=None) -> CompiledKernel:
+    """Emit and compile the vectorized kernel for a CPlan.
+
+    Byte-identical kernel source is shared through the process-wide
+    source cache, so equivalent operators across engines never
+    re-``exec`` identical code.  The optional Numba tier is attached
+    here; a missing/unusable Numba records a fallback and leaves the
+    NumPy kernel active.
+    """
+    from repro.codegen.plan_cache import compile_source
+
+    name, source, csr_safe = generate_kernel_source(cplan)
+    namespace = compile_source(name, source, "exec", stats=stats)
+    kernel = CompiledKernel(
+        name=name,
+        source=source,
+        entry=namespace["genkernel"],
+        csr_main_safe=csr_safe,
+    )
+    if getattr(config, "numba_kernels", False):
+        _attach_numba(kernel, cplan, stats)
+    return kernel
+
+
+def _attach_numba(kernel: CompiledKernel, cplan: CPlan, stats=None) -> None:
+    numba_source = generate_numba_source(cplan)
+    if numba_source is None:
+        _record_numba_fallback(kernel, stats)
+        return
+    kernel.numba_source = numba_source
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        _record_numba_fallback(kernel, stats)
+        return
+    try:
+        from repro.codegen.plan_cache import compile_source
+
+        namespace = compile_source(kernel.name + "_nb", numba_source,
+                                   "exec", stats=stats)
+        kernel.numba_entry = numba.njit(cache=False)(
+            namespace["genkernel_numba"]
+        )
+    except Exception:
+        _record_numba_fallback(kernel, stats)
+
+
+def _record_numba_fallback(kernel: CompiledKernel, stats=None) -> None:
+    kernel.numba_failed = True
+    if stats is not None:
+        stats.n_numba_fallbacks += 1

@@ -19,6 +19,7 @@ of duplicating it.
 
 from __future__ import annotations
 
+import hashlib
 import importlib.util
 import os
 import py_compile
@@ -30,6 +31,19 @@ import time
 from repro.codegen.cplan import CPlan
 from repro.codegen.pygen import GeneratedOperator, generate_source
 from repro.errors import CodegenError
+
+# Process-wide exec()-compile cache keyed by source hash: semantically
+# identical operators regenerated across recompiles, specializations,
+# and engines produce byte-identical source (operator names are
+# deterministic functions of the semantic hash), so the compiled
+# callable is reused instead of re-``exec``-ing identical code.
+_SOURCE_CACHE: dict = {}
+_SOURCE_CACHE_LOCK = threading.Lock()
+
+
+def _source_cache_key(name: str, source: str, backend: str) -> str:
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    return f"{backend}:{name}:{digest}"
 
 
 class PlanCache:
@@ -83,6 +97,9 @@ class PlanCache:
                     self.hits += 1
                     operator = self._cache[key]
                     self._record(stats, plan_cache_hits=1)
+                    # Plan-cache hit telemetry feeds the tiered-kernel
+                    # promotion policy: reused operators get hotter.
+                    operator.note_hot()
                     return operator
                 event = self._building.get(key)
                 if event is None:
@@ -99,7 +116,8 @@ class PlanCache:
             gen_elapsed = time.perf_counter() - start
 
             start = time.perf_counter()
-            genexec = compile_operator(name, source, config.compiler)
+            genexec = compile_operator(name, source, config.compiler,
+                                       stats=stats)
             compile_elapsed = time.perf_counter() - start
         except BaseException:
             with self._lock:
@@ -124,13 +142,41 @@ class PlanCache:
         return operator
 
 
-def compile_operator(name: str, source: str, backend: str = "exec"):
+def compile_source(name: str, source: str, backend: str = "exec",
+                   stats=None) -> dict:
+    """Compile generated source into a namespace, via the source cache.
+
+    Byte-identical source compiles exactly once per process; later
+    requests (recompiles, serving specializations, other engines) reuse
+    the namespace and record a ``n_source_cache_hits``.  Used for both
+    interpreted ``genexec`` modules and vectorized kernel modules.
+    """
+    key = _source_cache_key(name, source, backend)
+    with _SOURCE_CACHE_LOCK:
+        namespace = _SOURCE_CACHE.get(key)
+    if namespace is not None:
+        if stats is not None:
+            with stats.lock:
+                stats.n_source_cache_hits += 1
+        return namespace
+    namespace = _compile_namespace(name, source, backend)
+    with _SOURCE_CACHE_LOCK:
+        _SOURCE_CACHE.setdefault(key, namespace)
+    return namespace
+
+
+def compile_operator(name: str, source: str, backend: str = "exec",
+                     stats=None):
     """Compile generated source and return the genexec callable."""
+    return compile_source(name, source, backend, stats=stats)["genexec"]
+
+
+def _compile_namespace(name: str, source: str, backend: str) -> dict:
     if backend == "exec":
         namespace: dict = {}
         code = compile(source, f"<generated {name}>", "exec")
         exec(code, namespace)
-        return namespace["genexec"]
+        return namespace
     if backend == "file":
         tmpdir = tempfile.mkdtemp(prefix="repro_codegen_")
         path = os.path.join(tmpdir, f"{name.lower()}.py")
@@ -143,5 +189,5 @@ def compile_operator(name: str, source: str, backend: str = "exec"):
         module = importlib.util.module_from_spec(spec)
         sys.modules[spec.name] = module
         spec.loader.exec_module(module)
-        return module.genexec
+        return module.__dict__
     raise CodegenError(f"unknown compiler backend '{backend}'")

@@ -15,28 +15,57 @@ modelling monolithic generated code without shared primitives.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 from repro.codegen.cplan import Access, CNode, CPlan
 from repro.codegen.template import TemplateType
 from repro.errors import CodegenError
 from repro.runtime.vector import BINARY_PRIMITIVES, UNARY_PRIMITIVES
 
-_OPERATOR_IDS = itertools.count(1)
+
+def operator_name(cplan: CPlan) -> str:
+    """Deterministic operator name derived from the semantic hash.
+
+    Equivalent CPlans always generate the same name regardless of
+    process history or test ordering, so source dumps and goldens are
+    stable — unlike a process-global id counter.
+    """
+    return f"TMP_{cplan.semantic_hash()[:10]}"
 
 
 @dataclass
 class GeneratedOperator:
-    """A compiled fused operator: metadata plus the genexec callable."""
+    """A compiled fused operator: metadata plus the genexec callable.
+
+    Beyond the interpreted ``genexec`` tier, an operator may hold a
+    compiled vectorized kernel (:mod:`repro.codegen.npgen`).  Operators
+    are shared through the semantic-hash plan cache, so the kernel slot
+    — and the hotness telemetry that triggers promotion — is shared by
+    every program, serving specialization, and adaptive recompile that
+    reuses the operator.
+    """
 
     name: str
     cplan: CPlan
     source: str
     genexec: object  # callable
+    # Tiered-kernel state (guarded by ``lock``): ``kernel`` holds the
+    # CompiledKernel once promoted; ``hotness`` counts executions plus
+    # plan-cache hits plus serving warm-bind touches.
+    kernel: object = None
+    hotness: int = 0
+    kernel_failed: bool = False
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
     def template(self) -> TemplateType:
         return self.cplan.ttype
+
+    def note_hot(self, touches: int = 1) -> None:
+        """Bump hotness without an execution (cache hit / warm bind)."""
+        with self.lock:
+            self.hotness += touches
 
 
 def generate_source(cplan: CPlan, inline_primitives: bool = False) -> tuple[str, str]:
@@ -49,7 +78,7 @@ def generate_source(cplan: CPlan, inline_primitives: bool = False) -> tuple[str,
     * Row: ``genexec(a, b, s)`` over a dense row-block tile,
     * Outer: ``genexec(a, uv, b, s)`` over one row's non-zero cells.
     """
-    name = f"TMP{next(_OPERATOR_IDS)}"
+    name = operator_name(cplan)
     emitter = _Emitter(cplan, inline_primitives)
     if cplan.ttype is TemplateType.OUTER:
         header = f"def genexec(a, uv, b, s):"

@@ -124,6 +124,32 @@ class CodegenConfig:
     # (max(8, cpu_count)); >0 caps grants made under this config.
     thread_budget: int = 0
 
+    # Tiered vectorized-kernel backend for generated fused operators.
+    # Operators start on the interpreted path (tile-loop skeletons
+    # calling ``genexec``); once their hotness — executions plus
+    # plan-cache hits plus serving warm-bind touches — reaches
+    # ``kernel_hot_threshold``, a vectorized NumPy kernel is emitted
+    # (whole-array CELL/MAGG bodies with einsum contraction, whole-block
+    # ROW bodies that stay CSR for sparse-safe matmult chains, OUTER
+    # bodies batched over CSR row ranges) and shared through the
+    # semantic-hash plan cache.  0 = compile at first execution.
+    vectorized_kernels: bool = True
+    kernel_hot_threshold: int = 0
+    # Optionally JIT the per-cell kernel variant with Numba when a
+    # kernel is promoted.  With Numba absent (or the body outside the
+    # jittable subset) execution degrades to the vectorized NumPy
+    # kernel and records a fallback — never an error.
+    numba_kernels: bool = False
+    # Cell budget for the Outer driver's CSR row-range batches: each
+    # batch holds roughly this many (nnz x rank) gather cells, bounding
+    # the batched side-product temporaries.
+    kernel_chunk_cells: int = 1 << 22
+    # Relative tolerance for compiled-vs-interpreted comparisons where
+    # the vectorized kernel reassociates an aggregation (whole-array
+    # einsum/sum vs the tile-loop combine chain).  Order-preserving
+    # kernels (element-wise, row-wise) are compared exactly.
+    kernel_compare_rtol: float = 1e-9
+
     # Code generation backend: 'exec' is the fast in-memory compiler
     # (janino analogue); 'file' writes sources to disk and imports them
     # (javac analogue).

@@ -1,0 +1,426 @@
+"""Compiled-kernel execution drivers (tiered vectorized backend).
+
+:mod:`repro.runtime.skeletons` owns the *interpreted* tier: tile /
+non-zero-batch / per-row loops around ``genexec``.  This module owns the
+*compiled* tier: whole-value drivers around the vectorized kernels of
+:mod:`repro.codegen.npgen`, plus the tier-resolution policy
+(hotness-based promotion, failure pinning, Numba fallback accounting).
+
+The drivers mirror the skeleton semantics value-for-value:
+
+* Cell/MAgg over a dense main runs ``genkernel`` once on the whole
+  array (aggregation folded in, einsum contraction when eligible);
+  sparse-safe mains evaluate the body over batched non-zero gathers and
+  assemble outputs with ``bincount``/CSR rebuilds,
+* Row runs the whole row block through one kernel call, staying CSR for
+  CSR-main-safe plans,
+* Outer batches CSR row ranges (bounded by ``kernel_chunk_cells``) and
+  folds the U/V/W products into block matmuls.
+
+Element-wise and row-aligned kernels reproduce the interpreted results
+bit-identically; kernels that reassociate an aggregation (whole-array
+sums, einsum) match within ``config.kernel_compare_rtol``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.cplan import Access, OutType
+from repro.codegen.template import TemplateType
+from repro.errors import RuntimeExecError
+from repro.runtime.compressed import CompressedMatrix
+from repro.runtime.matrix import MatrixBlock
+from repro.runtime.sideinput import SideInput
+
+_CELL_TEMPLATES = (TemplateType.CELL, TemplateType.MAGG)
+
+
+# ----------------------------------------------------------------------
+# Tier resolution
+# ----------------------------------------------------------------------
+def resolve_kernel(operator, config, stats=None):
+    """Resolve the execution tier for one operator execution.
+
+    Bumps the operator's hotness (executions count toward promotion,
+    alongside the plan-cache hits and serving warm binds recorded via
+    ``note_hot``), compiles the vectorized kernel when the operator
+    crosses ``kernel_hot_threshold`` (0 = first execution), and returns
+    the kernel — or ``None`` to stay interpreted.  Compile failures pin
+    the operator to the interpreted tier permanently.
+
+    The kernel lands on the shared :class:`GeneratedOperator`, so every
+    program, serving specialization, and adaptive recompile that reuses
+    the operator through the plan cache shares one compiled kernel.
+    """
+    if not getattr(config, "vectorized_kernels", False):
+        return None
+    with operator.lock:
+        operator.hotness += 1
+        if operator.kernel is not None:
+            return operator.kernel
+        if operator.kernel_failed:
+            return None
+        threshold = getattr(config, "kernel_hot_threshold", 0)
+        if threshold > 0 and operator.hotness < threshold:
+            return None
+        promoted = operator.hotness > 1
+        from repro.codegen.npgen import compile_kernel
+
+        try:
+            kernel = compile_kernel(operator.cplan, config, stats)
+        except Exception:
+            operator.kernel_failed = True
+            if stats is not None:
+                stats.n_kernel_failures += 1
+            return None
+        operator.kernel = kernel
+    if stats is not None:
+        stats.n_kernel_compiles += 1
+        if promoted:
+            stats.n_kernel_promotions += 1
+    return kernel
+
+
+def kernel_supported(kernel, cplan, inputs) -> bool:
+    """Whether the compiled kernel can execute these runtime inputs.
+
+    Decided once per operator execution — before partitioning — so all
+    intra-op partitions run the same tier.  Unsupported combinations
+    (dictionary-compatible compressed cell plans, where the interpreted
+    distinct-value loop is already optimal; sparse Row mains whose body
+    is not CSR-main-safe) fall back to the interpreted skeletons.
+    """
+    if not 0 <= cplan.main_index < len(inputs):
+        return False
+    main = inputs[cplan.main_index]
+    if cplan.ttype in _CELL_TEMPLATES:
+        if isinstance(main, CompressedMatrix):
+            from repro.runtime.skeletons import _compressed_cell_compatible
+
+            return not _compressed_cell_compatible(cplan, inputs)
+        return isinstance(main, MatrixBlock)
+    if cplan.ttype is TemplateType.ROW:
+        if isinstance(main, CompressedMatrix):
+            return True
+        if not isinstance(main, MatrixBlock):
+            return False
+        return (not main.is_sparse) or kernel.csr_main_safe
+    if cplan.ttype is TemplateType.OUTER:
+        return isinstance(main, (MatrixBlock, CompressedMatrix))
+    return False
+
+
+def execute_kernel(operator, kernel, inputs, config):
+    """Execute a generated operator on its compiled vectorized kernel.
+
+    Callers must have checked :func:`kernel_supported` for these inputs.
+    """
+    cplan = operator.cplan
+    if cplan.ttype in _CELL_TEMPLATES:
+        return _execute_cell(operator, kernel, inputs, config)
+    if cplan.ttype is TemplateType.ROW:
+        return _execute_row(operator, kernel, inputs, config)
+    if cplan.ttype is TemplateType.OUTER:
+        return _execute_outer(operator, kernel, inputs, config)
+    raise RuntimeExecError(f"no kernel driver for {cplan.ttype}")
+
+
+def _csr_row_chunks(indptr, rows: int, budget_nnz: int):
+    """Row ranges whose non-zero counts fit the cell budget.
+
+    A single row larger than the budget forms its own chunk, so the
+    generator always advances.
+    """
+    r0 = 0
+    while r0 < rows:
+        target = indptr[r0] + budget_nnz
+        r1 = int(np.searchsorted(indptr, target, side="left"))
+        r1 = min(rows, max(r1, r0 + 1))
+        yield r0, r1, int(indptr[r0]), int(indptr[r1])
+        r0 = r1
+
+
+# ----------------------------------------------------------------------
+# Cell / MultiAgg driver
+# ----------------------------------------------------------------------
+def _execute_cell(operator, kernel, inputs, config):
+    from repro.runtime.skeletons import _split_inputs
+
+    cplan = operator.cplan
+    main, sides, scalars = _split_inputs(cplan, inputs)
+    if isinstance(main, CompressedMatrix):
+        # Dictionary-compatible plans were routed interpreted by
+        # kernel_supported; everything else runs on the dense values.
+        main = main.decompress()
+    if main.is_sparse and cplan.sparse_safe:
+        return _cell_sparse(operator, main, sides, scalars, config)
+    return _cell_dense(operator, kernel, main, sides, scalars)
+
+
+def _cell_dense(operator, kernel, main: MatrixBlock, sides, scalars):
+    cplan = operator.cplan
+    rows, _ = main.shape
+    arr = main.to_dense()
+    side_tiles = [SideInput(v).row_tile(0, rows) for (_, v) in sides]
+
+    raw = None
+    if kernel.numba_entry is not None and not kernel.numba_failed:
+        try:
+            raw = kernel.numba_entry(
+                arr,
+                *[np.ascontiguousarray(t) for t in side_tiles],
+                *scalars,
+            )
+        except Exception:
+            # JIT/runtime failure: pin this kernel to the NumPy tier.
+            kernel.numba_failed = True
+            raw = None
+    if raw is None:
+        raw = kernel.entry(arr, side_tiles, scalars)
+
+    out = cplan.out_type
+    if out is OutType.NO_AGG:
+        return MatrixBlock(raw).examine_representation()
+    if out is OutType.FULL_AGG:
+        return float(raw)
+    if out in (OutType.ROW_AGG, OutType.COL_AGG, OutType.MULTI_AGG):
+        return MatrixBlock(np.asarray(raw))
+    raise RuntimeExecError(f"bad cell out type {out}")
+
+
+def _cell_sparse(operator, main: MatrixBlock, sides, scalars, config):
+    """Sparse-safe cell execution over batched non-zero gathers.
+
+    The body evaluates once per chunk over the flat non-zero values (no
+    tile loop); outputs assemble through ``bincount`` / CSR rebuilds,
+    mirroring the interpreted sparse skeleton's per-batch logic.
+    """
+    import scipy.sparse as sp
+
+    cplan = operator.cplan
+    csr = main.to_csr()
+    rows, cols = csr.shape
+    side_inputs = [SideInput(v) for (_, v) in sides]
+    budget = max(1024, getattr(config, "kernel_chunk_cells", 1 << 22))
+
+    out = cplan.out_type
+    accs = [None] * max(1, len(cplan.roots))
+    out_data = np.empty(csr.nnz) if out is OutType.NO_AGG else None
+    row_out = np.zeros((rows, 1)) if out is OutType.ROW_AGG else None
+    col_acc = np.zeros(cols) if out is OutType.COL_AGG else None
+
+    indptr, indices, data = csr.indptr, csr.indices, csr.data
+    for r0, r1, lo, hi in _csr_row_chunks(indptr, rows, budget):
+        if hi == lo:
+            continue
+        values = data[lo:hi]
+        col_idx = indices[lo:hi]
+        row_idx = np.repeat(np.arange(r0, r1), np.diff(indptr[r0:r1 + 1]))
+        side_vals = [s.gather(row_idx, col_idx) for s in side_inputs]
+        value = operator.genexec(values, side_vals, scalars)
+        if out is OutType.NO_AGG:
+            out_data[lo:hi] = value
+        elif out is OutType.ROW_AGG:
+            row_out[r0:r1, 0] += np.bincount(
+                row_idx - r0,
+                weights=np.broadcast_to(value, values.shape),
+                minlength=r1 - r0,
+            )
+        elif out is OutType.COL_AGG:
+            col_acc += np.bincount(
+                col_idx,
+                weights=np.broadcast_to(value, values.shape),
+                minlength=cols,
+            )
+        elif out is OutType.FULL_AGG:
+            accs[0] = accs[0] if accs[0] is not None else 0.0
+            accs[0] += float(np.sum(value))
+        else:  # MULTI_AGG
+            for k, part in enumerate(value):
+                accs[k] = (accs[k] or 0.0) + float(np.sum(part))
+
+    if out is OutType.NO_AGG:
+        result = sp.csr_matrix(
+            (out_data, indices.copy(), indptr.copy()), shape=csr.shape
+        )
+        return MatrixBlock(result).examine_representation()
+    if out is OutType.ROW_AGG:
+        return MatrixBlock(row_out)
+    if out is OutType.COL_AGG:
+        return MatrixBlock(col_acc.reshape(1, -1))
+    if out is OutType.FULL_AGG:
+        return float(accs[0] or 0.0)
+    return MatrixBlock(np.array([[float(a or 0.0)] for a in accs]))
+
+
+# ----------------------------------------------------------------------
+# Row driver
+# ----------------------------------------------------------------------
+def _execute_row(operator, kernel, inputs, config):
+    from repro.runtime.skeletons import _split_inputs
+
+    cplan = operator.cplan
+    main, sides, scalars = _split_inputs(cplan, inputs)
+    if isinstance(main, CompressedMatrix):
+        main = main.decompress()
+    rows, _ = main.shape
+    side_tiles = []
+    for spec, value in sides:
+        handle = SideInput(
+            value if not isinstance(value, CompressedMatrix)
+            else value.decompress()
+        )
+        side_tiles.append(
+            handle.dense() if spec.access is Access.SIDE_FULL
+            else handle.row_tile(0, rows)
+        )
+    if main.is_sparse:
+        # kernel_supported admitted this input: the body is
+        # CSR-main-safe (main feeds matmuls only), so the kernel runs
+        # on the CSR directly without densifying.
+        a = main.to_csr()
+    else:
+        a = main.to_dense()
+    raw = kernel.entry(a, side_tiles, scalars)
+
+    out = cplan.out_type
+    if out in (OutType.NO_AGG, OutType.ROW_AGG):
+        return MatrixBlock(raw).examine_representation()
+    if out is OutType.FULL_AGG:
+        return float(raw)
+    if out in (OutType.COL_AGG, OutType.COL_AGG_T):
+        return MatrixBlock(np.asarray(raw)).examine_representation()
+    raise RuntimeExecError(f"bad row out type {out}")
+
+
+# ----------------------------------------------------------------------
+# Outer driver
+# ----------------------------------------------------------------------
+def _execute_outer(operator, kernel, inputs, config):
+    """Outer-template execution over batched row ranges.
+
+    Replaces the interpreted per-row Python loop: each batch evaluates
+    ``uv`` for all its non-zeros in one einsum, runs the body once, and
+    folds the W-side accumulation into a block matmul (chunk-CSR
+    ``S @ W`` / ``S.T @ W`` for sparse drivers).
+    """
+    import scipy.sparse as sp
+
+    from repro.runtime.skeletons import _as_float
+
+    cplan = operator.cplan
+    driver = inputs[cplan.main_index]
+    if isinstance(driver, CompressedMatrix):
+        driver = driver.decompress()
+    u_arr = _dense_of(inputs[cplan.u_index])
+    v_arr = _dense_of(inputs[cplan.v_index])
+    if cplan.v_transposed:
+        v_arr = np.ascontiguousarray(v_arr.T)
+    w_arr = _dense_of(inputs[cplan.w_index]) if cplan.w_index >= 0 else None
+
+    side_handles = []
+    scalars: list[float] = []
+    for idx, (spec, value) in enumerate(zip(cplan.inputs, inputs)):
+        if idx in (cplan.main_index, cplan.u_index, cplan.v_index,
+                   cplan.w_index):
+            continue
+        if spec.access is Access.SCALAR:
+            scalars.append(_as_float(value))
+        else:
+            side_handles.append(SideInput(
+                value if not isinstance(value, CompressedMatrix)
+                else value.decompress()
+            ))
+
+    rows, cols = driver.shape
+    rank = max(1, u_arr.shape[1])
+    budget = max(1024, getattr(config, "kernel_chunk_cells", 1 << 22) // rank)
+    out_type = cplan.out_type
+    genk = kernel.entry
+
+    if out_type is OutType.OUTER_FULL_AGG:
+        acc = 0.0
+    elif out_type is OutType.OUTER_RIGHT:
+        acc = np.zeros((rows, w_arr.shape[1]))
+    elif out_type is OutType.OUTER_LEFT:
+        acc = np.zeros((cols, w_arr.shape[1]))
+    else:  # OUTER_NO_AGG
+        acc = None
+
+    if driver.is_sparse:
+        csr = driver.to_csr()
+        indptr, indices, data = csr.indptr, csr.indices, csr.data
+        out_data = (
+            np.empty(csr.nnz) if out_type is OutType.OUTER_NO_AGG else None
+        )
+        for r0, r1, lo, hi in _csr_row_chunks(indptr, rows, budget):
+            if hi == lo:
+                continue
+            col_idx = indices[lo:hi]
+            row_idx = np.repeat(
+                np.arange(r0, r1), np.diff(indptr[r0:r1 + 1])
+            )
+            xv = data[lo:hi]
+            uv = np.einsum("ij,ij->i", u_arr[row_idx], v_arr[col_idx])
+            side_vals = [s.gather(row_idx, col_idx) for s in side_handles]
+            w_vals = np.broadcast_to(genk(xv, uv, side_vals, scalars),
+                                     xv.shape)
+            if out_type is OutType.OUTER_FULL_AGG:
+                acc += float(np.sum(w_vals))
+            elif out_type is OutType.OUTER_RIGHT:
+                chunk = sp.csr_matrix(
+                    (np.ascontiguousarray(w_vals), col_idx,
+                     indptr[r0:r1 + 1] - lo),
+                    shape=(r1 - r0, cols),
+                )
+                acc[r0:r1] = chunk @ w_arr
+            elif out_type is OutType.OUTER_LEFT:
+                chunk = sp.csr_matrix(
+                    (np.ascontiguousarray(w_vals), col_idx,
+                     indptr[r0:r1 + 1] - lo),
+                    shape=(r1 - r0, cols),
+                )
+                acc += chunk.T @ w_arr[r0:r1]
+            else:
+                out_data[lo:hi] = w_vals
+        if out_type is OutType.OUTER_NO_AGG:
+            result = sp.csr_matrix(
+                (out_data, indices.copy(), indptr.copy()), shape=(rows, cols)
+            )
+            return MatrixBlock(result).examine_representation()
+    else:
+        arr = driver.to_dense()
+        v_t = v_arr.T
+        bs = max(16, budget // max(1, cols))
+        out_dense = (
+            np.empty((rows, cols)) if out_type is OutType.OUTER_NO_AGG
+            else None
+        )
+        for r0 in range(0, rows, bs):
+            r1 = min(rows, r0 + bs)
+            xv = arr[r0:r1]
+            uv = u_arr[r0:r1] @ v_t
+            side_vals = [s.row_tile(r0, r1) for s in side_handles]
+            w_vals = np.broadcast_to(genk(xv, uv, side_vals, scalars),
+                                     xv.shape)
+            if out_type is OutType.OUTER_FULL_AGG:
+                acc += float(np.sum(w_vals))
+            elif out_type is OutType.OUTER_RIGHT:
+                acc[r0:r1] = w_vals @ w_arr
+            elif out_type is OutType.OUTER_LEFT:
+                acc += w_vals.T @ w_arr[r0:r1]
+            else:
+                out_dense[r0:r1] = w_vals
+        if out_type is OutType.OUTER_NO_AGG:
+            return MatrixBlock(out_dense).examine_representation()
+
+    if out_type is OutType.OUTER_FULL_AGG:
+        return float(acc)
+    return MatrixBlock(acc).examine_representation()
+
+
+def _dense_of(value) -> np.ndarray:
+    if isinstance(value, CompressedMatrix):
+        return value.decompress().to_dense()
+    return value.to_dense()

@@ -140,15 +140,29 @@ def execute_operator(operator, inputs: list, config, stats=None,
     serial skeletons — the distributed backend sets it for its
     per-partition calls so partitions never nest another fan-out.
     """
+    from repro.runtime import npexec
+
     cplan = operator.cplan
     if stats is not None:
         stats.record_spoof(cplan.ttype.value)
     inputs = _consult_observed_sparsity(cplan, inputs, config, stats)
+    # Tier resolution happens once, before partitioning, so every
+    # intra-op partition of this execution runs the same backend and
+    # the run counters count one execution each.
+    kernel = npexec.resolve_kernel(operator, config, stats)
+    if kernel is not None and not npexec.kernel_supported(kernel, cplan, inputs):
+        kernel = None
+    if stats is not None:
+        if kernel is not None:
+            stats.n_compiled_runs += 1
+        else:
+            stats.n_interpreted_runs += 1
     if allow_parallel and config.effective_intra_op_threads() > 1:
         plan = _plan_intra_op(cplan, inputs, config)
         if plan is not None:
-            return _execute_intra_op(operator, plan, config, stats)
-    return _execute_serial(operator, inputs, config)
+            return _execute_intra_op(operator, plan, config, stats,
+                                     kernel=kernel)
+    return _execute_serial(operator, inputs, config, kernel=kernel)
 
 
 def _consult_observed_sparsity(cplan: CPlan, inputs: list, config,
@@ -181,9 +195,26 @@ def _consult_observed_sparsity(cplan: CPlan, inputs: list, config,
     return inputs
 
 
-def _execute_serial(operator, inputs: list, config):
-    """Dispatch to the single-threaded skeleton for the template."""
+def _execute_serial(operator, inputs: list, config, kernel=None):
+    """Dispatch to the single-threaded skeleton for the template.
+
+    With a resolved ``kernel`` the whole-value driver of
+    :mod:`repro.runtime.npexec` runs instead of the tile loops; a
+    driver failure pins the operator back to the interpreted tier and
+    re-executes these inputs interpreted (same inputs, same result
+    contract), so a kernel bug can never fail a run the interpreted
+    skeletons would have completed.
+    """
     cplan = operator.cplan
+    if kernel is not None:
+        from repro.runtime import npexec
+
+        try:
+            return npexec.execute_kernel(operator, kernel, inputs, config)
+        except Exception:
+            with operator.lock:
+                operator.kernel = None
+                operator.kernel_failed = True
     if cplan.ttype in (TemplateType.CELL, TemplateType.MAGG):
         return _execute_cellwise(operator, inputs, config)
     if cplan.ttype is TemplateType.ROW:
@@ -304,10 +335,12 @@ def _row_slice(block: MatrixBlock, r0: int, r1: int) -> MatrixBlock:
     return MatrixBlock(block.to_dense()[r0:r1])
 
 
-def _execute_intra_op(operator, part_inputs: list, config, stats):
+def _execute_intra_op(operator, part_inputs: list, config, stats,
+                      kernel=None):
     cplan = operator.cplan
     tasks = [
-        (lambda values: lambda: _execute_serial(operator, values, config))(pv)
+        (lambda values: lambda: _execute_serial(
+            operator, values, config, kernel=kernel))(pv)
         for pv in part_inputs
     ]
     partials, workers = run_tasks(

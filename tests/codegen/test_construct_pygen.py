@@ -128,17 +128,27 @@ class TestPygen:
         result = func(xd, [yd], [])
         np.testing.assert_allclose(result, xd * yd)
 
-    def test_unique_operator_names(self):
-        cplan = CPlan(
-            ttype=TemplateType.CELL,
-            out_type=OutType.NO_AGG,
-            roots=[CNode("u:abs", [CNode("data", input_index=0)])],
-            inputs=[InputSpec(1, 4, 4, Access.MAIN)],
-            main_index=0,
-        )
-        name1, _ = generate_source(cplan)
-        name2, _ = generate_source(cplan)
-        assert name1 != name2
+    def test_deterministic_operator_names(self):
+        """Equivalent CPlans name identically (semantic-hash derived).
+
+        Deterministic names make regenerated source byte-identical, so
+        the source-hash compile cache can reuse exec()'d namespaces
+        across recompiles, specializations, and engines.
+        """
+        def make_cplan():
+            return CPlan(
+                ttype=TemplateType.CELL,
+                out_type=OutType.NO_AGG,
+                roots=[CNode("u:abs", [CNode("data", input_index=0)])],
+                inputs=[InputSpec(1, 4, 4, Access.MAIN)],
+                main_index=0,
+            )
+
+        name1, source1 = generate_source(make_cplan())
+        name2, source2 = generate_source(make_cplan())
+        assert name1 == name2
+        assert source1 == source2
+        assert name1 == f"TMP_{make_cplan().semantic_hash()[:10]}"
 
     def test_semantic_hash_stable_across_sizes(self, rng):
         """Operators are size-generic: equal structure, equal hash."""

@@ -1,0 +1,191 @@
+"""Vectorized-kernel code generation (npgen backend)."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.codegen.construct import construct_cplan
+from repro.codegen.npgen import (
+    CompiledKernel,
+    compile_kernel,
+    generate_kernel_source,
+    generate_numba_source,
+    kernel_name,
+)
+from repro.codegen.pygen import generate_source, operator_name
+from repro.codegen.template import TemplateType
+from repro.config import CodegenConfig
+from repro.runtime.matrix import MatrixBlock
+from repro.runtime.stats import RuntimeStats
+from tests.codegen.test_construct_pygen import _select_plan
+
+
+def _cplan(exprs, want_type=None):
+    plan, config = _select_plan(exprs, want_type)
+    return construct_cplan(plan, config)[0]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestKernelEmission:
+    def test_cell_kernel_emits_and_names_deterministically(self, rng):
+        x = api.matrix(rng.random((30, 10)), "X")
+        y = api.matrix(rng.random((30, 10)), "Y")
+        cplan = _cplan([(x * y).sum()])
+        name1, source1, _ = generate_kernel_source(cplan)
+        name2, source2, _ = generate_kernel_source(cplan)
+        assert name1 == name2 == kernel_name(cplan)
+        assert source1 == source2
+        assert name1 == operator_name(cplan) + "_k"
+        assert "def genkernel" in source1
+
+    def test_cell_sum_of_products_uses_einsum(self, rng):
+        x = api.matrix(rng.random((30, 10)), "X")
+        y = api.matrix(rng.random((30, 10)), "Y")
+        z = api.matrix(rng.random((30, 10)), "Z")
+        cplan = _cplan([(x * y * z).sum()])
+        _, source, _ = generate_kernel_source(cplan)
+        assert "np.einsum" in source
+
+    def test_einsum_kernel_matches_plain_sum(self, rng):
+        xd, yd, zd = (rng.random((64, 12)) for _ in range(3))
+        x, y, z = (api.matrix(d, n) for d, n in
+                   [(xd, "X"), (yd, "Y"), (zd, "Z")])
+        cplan = _cplan([(x * y * z).sum()])
+        kernel = compile_kernel(cplan, CodegenConfig())
+        # The kernel signature is (a, b, s); side order follows the
+        # cplan spec order with the main input removed.
+        sides = [d for i, d in enumerate([xd, yd, zd])
+                 if i != cplan.main_index]
+        result = kernel.entry(
+            [xd, yd, zd][cplan.main_index], sides, []
+        )
+        np.testing.assert_allclose(result, float(np.sum(xd * yd * zd)),
+                                   rtol=1e-12)
+
+    def test_mixed_shape_product_keeps_generic_body(self, rng):
+        # A column-vector factor cannot join a whole-array einsum
+        # contraction (einsum does not broadcast).
+        x = api.matrix(rng.random((30, 10)), "X")
+        c = api.matrix(rng.random((30, 1)), "c")
+        cplan = _cplan([(x * c).sum()])
+        _, source, _ = generate_kernel_source(cplan)
+        assert "np.einsum" not in source
+
+    def test_row_kernel_csr_main_safe_for_matmul_chain(self, rng):
+        x = api.matrix(rng.random((50, 8)), "X")
+        v = api.matrix(rng.random((8, 1)), "v")
+        cplan = _cplan([x.T @ (x @ v)], TemplateType.ROW)
+        _, source, csr_safe = generate_kernel_source(cplan)
+        assert csr_safe
+        assert "CSR_MAIN_SAFE = True" in source
+
+    def test_row_kernel_not_csr_safe_with_elementwise_main(self, rng):
+        # The main input feeds an element-wise multiply, so the kernel
+        # cannot run on a CSR main directly.
+        x = api.matrix(rng.random((50, 8)), "X")
+        v = api.matrix(rng.random((8, 1)), "v")
+        cplan = _cplan([(x * api.sigmoid(x @ v)).row_sums()],
+                       TemplateType.ROW)
+        _, _, csr_safe = generate_kernel_source(cplan)
+        assert not csr_safe
+
+
+class TestNumbaVariant:
+    def test_pure_cell_plan_emits_loop_variant(self, rng):
+        xd = rng.random((40, 8))
+        yd = rng.random((40, 8))
+        x, y = api.matrix(xd, "X"), api.matrix(yd, "Y")
+        cplan = _cplan([(api.abs_(x * y) + 1.0).sum()])
+        source = generate_numba_source(cplan)
+        assert source is not None
+        assert "def genkernel_numba" in source
+        # The emitted variant is valid plain Python: executing it
+        # un-jitted must reproduce the vectorized result, which is what
+        # keeps the Numba tier testable without Numba installed.
+        namespace = {}
+        exec(compile(source, "<numba variant>", "exec"), namespace)
+        sides = [d for i, d in enumerate([xd, yd])
+                 if i != cplan.main_index]
+        got = namespace["genkernel_numba"](
+            [xd, yd][cplan.main_index], *sides
+        )
+        np.testing.assert_allclose(got, float(np.sum(np.abs(xd * yd) + 1.0)),
+                                   rtol=1e-9)
+
+    def test_row_plan_has_no_loop_variant(self, rng):
+        x = api.matrix(rng.random((50, 8)), "X")
+        v = api.matrix(rng.random((8, 1)), "v")
+        cplan = _cplan([x.T @ (x @ v)], TemplateType.ROW)
+        assert generate_numba_source(cplan) is None
+
+    def test_numba_request_degrades_gracefully(self, rng):
+        """numba_kernels=True must never fail, with or without Numba.
+
+        Without Numba the compile records a fallback and the NumPy
+        kernel stays active; with Numba the jitted entry attaches.
+        """
+        x = api.matrix(rng.random((30, 10)), "X")
+        y = api.matrix(rng.random((30, 10)), "Y")
+        cplan = _cplan([(x * y).sum()])
+        stats = RuntimeStats()
+        kernel = compile_kernel(
+            cplan, CodegenConfig(numba_kernels=True), stats=stats
+        )
+        assert isinstance(kernel, CompiledKernel)
+        try:
+            import numba  # noqa: F401
+            have_numba = True
+        except ImportError:
+            have_numba = False
+        if have_numba:
+            assert kernel.tier == "numba"
+            assert kernel.numba_entry is not None
+        else:
+            assert kernel.tier == "numpy"
+            assert kernel.numba_failed
+            assert stats.n_numba_fallbacks == 1
+        assert callable(kernel.entry)
+
+
+class TestKernelCompilation:
+    def test_kernel_shares_source_cache(self, rng):
+        x = api.matrix(rng.random((30, 10)), "X")
+        y = api.matrix(rng.random((30, 10)), "Y")
+        cplan = _cplan([api.sqrt(api.abs_(x - y)).row_sums()])
+        stats = RuntimeStats()
+        first = compile_kernel(cplan, CodegenConfig(), stats=stats)
+        hits_after_first = stats.n_source_cache_hits
+        second = compile_kernel(cplan, CodegenConfig(), stats=stats)
+        assert stats.n_source_cache_hits == hits_after_first + 1
+        # Byte-identical source resolves to the same exec()'d callable.
+        assert first.entry is second.entry
+
+    def test_genexec_and_kernel_sources_differ(self, rng):
+        x = api.matrix(rng.random((30, 10)), "X")
+        y = api.matrix(rng.random((30, 10)), "Y")
+        cplan = _cplan([(x * y).sum()])
+        _, genexec_source = generate_source(cplan)
+        _, kernel_source, _ = generate_kernel_source(cplan)
+        assert "def genexec" in genexec_source
+        assert "def genkernel" in kernel_source
+        assert kernel_source != genexec_source
+
+
+class TestMatrixBlockHelpers:
+    def test_kernel_output_round_trips_matrix_block(self, rng):
+        # NO_AGG kernels return contiguous arrays safe to wrap.
+        x = api.matrix(rng.random((20, 6)), "X")
+        y = api.matrix(rng.random((20, 6)), "Y")
+        cplan = _cplan([x * y * 2.0])
+        kernel = compile_kernel(cplan, CodegenConfig())
+        xd = rng.random((20, 6))
+        yd = rng.random((20, 6))
+        sides = [d for i, d in enumerate([xd, yd])
+                 if i != cplan.main_index]
+        raw = kernel.entry([xd, yd][cplan.main_index], sides, [])
+        block = MatrixBlock(raw)
+        np.testing.assert_array_equal(block.to_dense(), xd * yd * 2.0)
