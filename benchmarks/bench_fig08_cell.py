@@ -154,6 +154,57 @@ def test_fig08_cell_tier_speedup(benchmark):
 
 
 @pytest.mark.bench
+def test_fig08_verify_overhead(benchmark):
+    """``verify_level="boundaries"`` stays under 10% end-to-end.
+
+    Each evaluate builds a fresh DAG and runs the full compile pipeline
+    (the plan cache only absorbs operator compilation), so the measured
+    ratio covers exactly what the verifier adds per compile+run: one
+    post-optimization DAG check plus one post-lowering program check.
+
+    The size is pinned at 1M cells even in quick mode — at the trimmed
+    100K size one evaluate is ~1.5ms and a 10% bound is scheduler
+    noise, not verifier cost — and the two levels are timed
+    *interleaved* so clock drift hits both equally.
+    """
+    cells = 1_000_000
+    blocks = _dense_inputs(cells)
+
+    def run():
+        engines = {
+            level: Engine(
+                mode="gen", config=CodegenConfig(verify_level=level)
+            )
+            for level in ("off", "boundaries")
+        }
+
+        def evaluate(level):
+            return api.eval_all(_build(blocks), engine=engines[level])
+
+        seconds = {level: float("inf") for level in engines}
+        for level in engines:
+            evaluate(level)  # warmup: codegen + plan cache
+        for _ in range(7):
+            for level in engines:
+                seconds[level] = min(
+                    seconds[level], time_best(lambda: evaluate(level), 1)
+                )
+        ratio = seconds["boundaries"] / seconds["off"]
+        result = BenchResult(f"cell_dense_{cells}_verify", seconds=seconds)
+        print_table("Fig 8 cell: verifier overhead",
+                    ["off", "boundaries"], [result])
+        print(f"verify overhead: {ratio:.3f}x")
+        maybe_export_json("fig08_cell_verify_overhead", [result],
+                          extra={"overhead_ratio": ratio})
+        assert ratio < 1.10, (
+            f"boundaries verification adds {(ratio - 1) * 100:.1f}% "
+            "to compile+run (budget: 10%)"
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.bench
 def test_fig08_cell_shape_summary(benchmark):
     """The paper's qualitative claim: Gen >= Fused > Base at scale."""
 

@@ -396,6 +396,11 @@ def compile_kernel(cplan: CPlan, config, stats=None) -> CompiledKernel:
     from repro.codegen.plan_cache import compile_source
 
     name, source, csr_safe = generate_kernel_source(cplan)
+    if getattr(config, "verify_level", "off") != "off":
+        from repro.analysis.kernel_lint import check_source
+
+        check_source(name, source, kind="vectorized",
+                     csr_main_safe=csr_safe, stats=stats)
     namespace = compile_source(name, source, "exec", stats=stats)
     kernel = CompiledKernel(
         name=name,
@@ -404,15 +409,23 @@ def compile_kernel(cplan: CPlan, config, stats=None) -> CompiledKernel:
         csr_main_safe=csr_safe,
     )
     if getattr(config, "numba_kernels", False):
-        _attach_numba(kernel, cplan, stats)
+        _attach_numba(kernel, cplan, config, stats)
     return kernel
 
 
-def _attach_numba(kernel: CompiledKernel, cplan: CPlan, stats=None) -> None:
+def _attach_numba(kernel: CompiledKernel, cplan: CPlan, config=None,
+                  stats=None) -> None:
     numba_source = generate_numba_source(cplan)
     if numba_source is None:
         _record_numba_fallback(kernel, stats)
         return
+    if getattr(config, "verify_level", "off") != "off":
+        from repro.analysis.kernel_lint import check_source
+
+        # The jitted variant is loop-based by design; everything else
+        # (imports, names, determinism) is held to the same contract.
+        check_source(kernel.name + "_nb", numba_source, kind="numba",
+                     stats=stats)
     kernel.numba_source = numba_source
     try:
         import numba  # noqa: F401

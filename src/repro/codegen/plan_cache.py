@@ -19,6 +19,7 @@ of duplicating it.
 
 from __future__ import annotations
 
+import builtins
 import hashlib
 import importlib.util
 import os
@@ -28,8 +29,13 @@ import tempfile
 import threading
 import time
 
+from repro.analysis import lockset
 from repro.codegen.cplan import CPlan
-from repro.codegen.pygen import GeneratedOperator, generate_source
+from repro.codegen.pygen import (
+    GENERATED_IMPORT_MODULES,
+    GeneratedOperator,
+    generate_source,
+)
 from repro.errors import CodegenError
 
 # Process-wide exec()-compile cache keyed by source hash: semantically
@@ -38,7 +44,7 @@ from repro.errors import CodegenError
 # deterministic functions of the semantic hash), so the compiled
 # callable is reused instead of re-``exec``-ing identical code.
 _SOURCE_CACHE: dict = {}
-_SOURCE_CACHE_LOCK = threading.Lock()
+_SOURCE_CACHE_LOCK = lockset.make_lock("plan_cache._SOURCE_CACHE_LOCK")
 
 
 def _source_cache_key(name: str, source: str, backend: str) -> str:
@@ -52,7 +58,7 @@ class PlanCache:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._cache: dict[str, GeneratedOperator] = {}
-        self._lock = threading.Lock()
+        self._lock = lockset.make_lock("PlanCache._lock")
         # key -> Event set once the owning thread finished compiling.
         self._building: dict[str, threading.Event] = {}
         self.hits = 0
@@ -89,10 +95,12 @@ class PlanCache:
         """
         key = cplan.semantic_hash()
         with self._lock:
+            lockset.note_access("PlanCache", self, "lookups")
             self.lookups += 1
         self._record(stats, plan_cache_lookups=1)
         while True:
             with self._lock:
+                lockset.note_access("PlanCache", self, "cache")
                 if self.enabled and key in self._cache:
                     self.hits += 1
                     operator = self._cache[key]
@@ -113,6 +121,10 @@ class PlanCache:
         try:
             start = time.perf_counter()
             name, source = generate_source(cplan, config.inline_primitives)
+            if getattr(config, "verify_level", "off") != "off":
+                from repro.analysis.kernel_lint import check_source
+
+                check_source(name, source, kind="interpreted", stats=stats)
             gen_elapsed = time.perf_counter() - start
 
             start = time.perf_counter()
@@ -128,6 +140,7 @@ class PlanCache:
 
         operator = GeneratedOperator(name, cplan, source, genexec)
         with self._lock:
+            lockset.note_access("PlanCache", self, "cache")
             if self.enabled:
                 self._cache[key] = operator
             finished = self._building.pop(key, None)
@@ -153,6 +166,7 @@ def compile_source(name: str, source: str, backend: str = "exec",
     """
     key = _source_cache_key(name, source, backend)
     with _SOURCE_CACHE_LOCK:
+        lockset.note_access("plan_cache", _SOURCE_CACHE, "source_cache")
         namespace = _SOURCE_CACHE.get(key)
     if namespace is not None:
         if stats is not None:
@@ -161,6 +175,7 @@ def compile_source(name: str, source: str, backend: str = "exec",
         return namespace
     namespace = _compile_namespace(name, source, backend)
     with _SOURCE_CACHE_LOCK:
+        lockset.note_access("plan_cache", _SOURCE_CACHE, "source_cache")
         _SOURCE_CACHE.setdefault(key, namespace)
     return namespace
 
@@ -171,9 +186,52 @@ def compile_operator(name: str, source: str, backend: str = "exec",
     return compile_source(name, source, backend, stats=stats)["genexec"]
 
 
+def _restricted_import(name, globals=None, locals=None, fromlist=(),
+                       level=0):
+    """``__import__`` hook for generated code: allowlisted modules only.
+
+    Generated sources import exactly the surface the kernel lint
+    permits (numpy/scipy and the runtime vector primitives); anything
+    else — smuggled past the lint or injected into a cached source —
+    fails here at exec time.
+    """
+    if level == 0 and any(
+        name == prefix or name.startswith(prefix + ".")
+        for prefix in GENERATED_IMPORT_MODULES
+    ):
+        return builtins.__import__(name, globals, locals, fromlist, level)
+    raise CodegenError(
+        f"generated code may not import '{name}' "
+        f"(allowed: {', '.join(GENERATED_IMPORT_MODULES)})"
+    )
+
+
+#: The only builtins generated code executes with.  Mirrors the kernel
+#: lint's name allowlist; no I/O, no introspection, no dynamic eval.
+_GENERATED_BUILTINS = {
+    "__import__": _restricted_import,
+    "abs": abs,
+    "bool": bool,
+    "enumerate": enumerate,
+    "float": float,
+    "int": int,
+    "len": len,
+    "max": max,
+    "min": min,
+    "range": range,
+    "repr": repr,
+    "round": round,
+    "sum": sum,
+    "zip": zip,
+}
+
+
 def _compile_namespace(name: str, source: str, backend: str) -> dict:
     if backend == "exec":
-        namespace: dict = {}
+        # Restricted namespace: generated code never sees full builtins
+        # (the file backend imports a real module instead — the javac
+        # analogue — and is covered by the source lint).
+        namespace: dict = {"__builtins__": dict(_GENERATED_BUILTINS)}
         code = compile(source, f"<generated {name}>", "exec")
         exec(code, namespace)
         return namespace

@@ -23,6 +23,15 @@ from repro.codegen.template import TemplateType
 from repro.errors import CodegenError
 from repro.runtime.vector import BINARY_PRIMITIVES, UNARY_PRIMITIVES
 
+#: Import surface of generated sources.  Both codegen backends emit
+#: only ``import numpy as np`` / ``from repro.runtime import vector as
+#: vp`` (scipy is reserved for sparse kernel bodies); the kernel lint
+#: (:mod:`repro.analysis.kernel_lint`) and the restricted ``exec``
+#: namespace (:mod:`repro.codegen.plan_cache`) enforce exactly this
+#: contract — extend it here, in one place, if a template grows a new
+#: dependency.
+GENERATED_IMPORT_MODULES = ("numpy", "scipy", "repro.runtime")
+
 
 def operator_name(cplan: CPlan) -> str:
     """Deterministic operator name derived from the semantic hash.

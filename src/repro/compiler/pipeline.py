@@ -18,9 +18,9 @@ Pass order notes:
 
 from __future__ import annotations
 
-import threading
 import time
 
+from repro.analysis import lockset
 from repro.codegen.optimizer import CodegenOptimizer
 from repro.codegen.plan_cache import PlanCache
 from repro.config import CodegenConfig
@@ -61,8 +61,9 @@ class CompilationContext:
         # codegen passes mutate shared optimizer and stats state, so
         # concurrent serving requests compile one at a time (runtime
         # execution overlaps freely).  Reentrant so a compile hook may
-        # trigger a nested recompilation.
-        self.lock = threading.RLock()
+        # trigger a nested recompilation.  Tracked for the lockset
+        # race detector (compile-time counters mutate under it).
+        self.lock = lockset.make_rlock("CompilationContext.lock")
 
 
 class CompilerPass:
@@ -129,13 +130,27 @@ def build_pipeline(mode: str) -> list[CompilerPass]:
 
 def run_passes(roots: list[Hop], passes: list[CompilerPass],
                ctx: CompilationContext) -> list[Hop]:
-    """Run the passes in order, recording per-pass wall-clock."""
+    """Run the passes in order, recording per-pass wall-clock.
+
+    At ``verify_level="full"`` the IR verifier re-checks the DAG after
+    every pass, so a violation is pinned to the pass that introduced it
+    (``boundaries`` checks only the final optimized DAG, in
+    :func:`compile_program`).
+    """
+    # Imported at call time: repro.analysis.verify needs the compiler
+    # package (program helpers), so a module-level import here would
+    # close a cycle whenever the analysis package loads first.
+    per_pass_verify = ctx.config.verify_level == "full"
+    if per_pass_verify:
+        from repro.analysis.verify import check_dag
     for compiler_pass in passes:
         start = time.perf_counter()
         roots = compiler_pass.run(roots, ctx)
         elapsed = time.perf_counter() - start
         seconds = ctx.stats.pipeline_pass_seconds
         seconds[compiler_pass.name] = seconds.get(compiler_pass.name, 0.0) + elapsed
+        if per_pass_verify:
+            check_dag(roots, ctx, stage=f"after-{compiler_pass.name}")
     return roots
 
 
@@ -153,6 +168,12 @@ def compile_program(roots: list[Hop], ctx: CompilationContext,
         if passes is None:
             passes = build_pipeline(ctx.mode)
         roots = run_passes(roots, passes, ctx)
+        verify = ctx.config.verify_level in ("boundaries", "full")
+        if verify:
+            # Call-time import: see the note in run_passes.
+            from repro.analysis.verify import check_dag, check_program
+
+            check_dag(roots, ctx, stage="post-optimization")
         start = time.perf_counter()
         program = lower_program(
             roots, ctx.mode, distributed=ctx.config.cluster is not None
@@ -166,6 +187,11 @@ def compile_program(roots: list[Hop], ctx: CompilationContext,
         elapsed = time.perf_counter() - start
         seconds = ctx.stats.pipeline_pass_seconds
         seconds["lowering"] = seconds.get("lowering", 0.0) + elapsed
+        if verify:
+            # Covers adaptive recompiles too: spliced remainder programs
+            # re-enter this pipeline and re-verify automatically.
+            check_program(program, ctx, stage="post-lowering")
+            ctx.stats.n_verified_programs += 1
         ctx.stats.n_programs_compiled += 1
         ctx.stats.n_instructions_lowered += program.n_instructions
         return program

@@ -99,6 +99,9 @@ class Program:
     # eagerly for these (dims-only for everything else — dense nnz
     # counting is O(cells)).
     observe_slots: set = field(default_factory=set)
+    # True when lowered with a cluster configured: collect boundaries
+    # were inserted, and the verifier re-derives them as an invariant.
+    distributed: bool = False
 
     @property
     def n_instructions(self) -> int:
@@ -324,6 +327,7 @@ def lower_program(roots: list[Hop], mode: str,
         stack.pop()
 
     program.root_slots = [slot_of[r.id] for r in roots]
+    program.distributed = distributed
     if distributed:
         insert_collect_boundaries(program)
     program.finalize()

@@ -220,5 +220,13 @@ class Recompiler:
         cloned = clone_with_observations(
             root_hops, boundary, values, self.context.config, stats
         )
+        if self.context.config.verify_level == "full":
+            # Verify the spliced sub-DAG before re-entering the
+            # pipeline: a bad clone (broken de-fusion, stale boundary
+            # value) is reported against the splice, not blamed on the
+            # rewrite pass that trips over it later.
+            from repro.analysis.verify import check_dag
+
+            check_dag(cloned, self.context, stage="recompile-splice")
         new_program = compile_program(cloned, self.context)
         return new_program, [program.root_slots[pos] for pos in positions]

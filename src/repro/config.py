@@ -150,6 +150,19 @@ class CodegenConfig:
     # kernels (element-wise, row-wise) are compared exactly.
     kernel_compare_rtol: float = 1e-9
 
+    # Static analysis (repro.analysis).  verify_level gates the IR
+    # verifier and the generated-kernel lint: 'off' disables them,
+    # 'boundaries' verifies the optimized DAG and the lowered program at
+    # every compile (and lints every generated source before exec),
+    # 'full' additionally re-verifies the DAG after every compiler pass
+    # and at adaptive-recompile splice points.
+    verify_level: str = "off"
+    # Eraser-style lockset race detection over the shared runtime
+    # structures (plan cache, stats, thread budget, lineage cache).
+    # Debug instrumentation: enables a process-wide checker whose
+    # reports land in RuntimeStats.n_lockset_reports.
+    lockset_debug: bool = False
+
     # Code generation backend: 'exec' is the fast in-memory compiler
     # (janino analogue); 'file' writes sources to disk and imports them
     # (javac analogue).

@@ -13,12 +13,20 @@ class CompileError(ReproError):
     """HOP DAG construction or rewriting failed."""
 
 
+class VerificationError(CompileError):
+    """The IR verifier found an invariant violation (analysis/verify)."""
+
+
 class LanguageError(ReproError):
     """Script parsing or validation failed."""
 
 
 class CodegenError(ReproError):
     """Template exploration, plan selection, or code generation failed."""
+
+
+class KernelLintError(CodegenError):
+    """A generated source violated the kernel contract (analysis lint)."""
 
 
 class RuntimeExecError(ReproError):

@@ -32,6 +32,7 @@ import weakref
 
 import numpy as np
 
+from repro.analysis import lockset
 from repro.config import ClusterConfig, CodegenConfig
 from repro.errors import RuntimeExecError
 from repro.hops.hop import Hop, SpoofOp
@@ -154,6 +155,9 @@ class SparkExecutor:
     # RDD cache (lineage-keyed)
     # ------------------------------------------------------------------
     def _is_cached(self, key, value=None) -> bool:
+        # Lineage-cache accesses happen inside an executor run holding
+        # the Spark run lock; the lockset detector verifies that.
+        lockset.note_access("SparkExecutor", self, "lineage_cache")
         if key is None:
             return False
         entry = self._cache.get(key)
@@ -169,6 +173,7 @@ class SparkExecutor:
         return True
 
     def _cache_put(self, key, size_bytes: float, value=None) -> None:
+        lockset.note_access("SparkExecutor", self, "lineage_cache")
         if key is None or key in self._cache:
             return
         if self._cached_bytes + size_bytes > self.cluster.aggregate_mem:
@@ -183,6 +188,7 @@ class SparkExecutor:
         self._cached_bytes += size_bytes
 
     def _evict_cache(self) -> None:
+        lockset.note_access("SparkExecutor", self, "lineage_cache")
         if self._cache:
             self.stats.n_rdd_cache_evictions += 1
         self._cache.clear()
@@ -199,6 +205,7 @@ class SparkExecutor:
         input entries die with their weakref guard.  The executor calls
         this at the start of every program run.
         """
+        lockset.note_access("SparkExecutor", self, "lineage_cache")
         for key in list(self._cache):
             size, guard = self._cache[key]
             dead = (

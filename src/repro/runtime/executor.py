@@ -48,6 +48,7 @@ import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.analysis import lockset
 from repro.config import CodegenConfig
 from repro.errors import RuntimeExecError
 from repro.hops.types import ExecType
@@ -126,10 +127,14 @@ class ProgramExecutor:
         # None for hand-built programs executed without an engine.
         self.recompiler = recompiler
         self._pool: ThreadPoolExecutor | None = None
-        self._lock = threading.Lock()
+        # Tracked locks: the lockset race detector verifies the epoch
+        # counter and the Spark backend's shared state against them.
+        self._lock = lockset.make_lock("ProgramExecutor._lock")
         # Serializes runs that dispatch to the (stateful) simulated
         # Spark backend; purely local runs may overlap freely.
-        self._spark_run_lock = threading.Lock()
+        self._spark_run_lock = lockset.make_lock(
+            "ProgramExecutor._spark_run_lock"
+        )
         # Monotonic program counter: makes intermediate lineage keys
         # unique across the programs one engine executes.
         self._epoch = 0
@@ -171,6 +176,7 @@ class ProgramExecutor:
             for slot, value in bindings.items():
                 values[slot] = value
         with self._lock:
+            lockset.note_access("ProgramExecutor", self, "epoch")
             self._epoch += 1
             epoch = self._epoch
 

@@ -18,6 +18,7 @@ free).
 
 from __future__ import annotations
 
+from repro.analysis import lockset
 from repro.runtime.matrix import MatrixBlock
 
 
@@ -45,6 +46,10 @@ class RuntimeMetadata:
 
     def observe(self, slot: int, value, with_nnz: bool = False) -> None:
         """Record a materialized intermediate (matrix values only)."""
+        # Per-run sidecar: single-threaded by design (the serial loop
+        # owns it).  Instrumented so the lockset detector would flag a
+        # future executor change that shares one sidecar across threads.
+        lockset.note_access("RuntimeMetadata", self, "slots")
         if isinstance(value, MatrixBlock):
             nnz = value.nnz if with_nnz else -1
             self._slots[slot] = ObservedMeta(value.rows, value.cols, nnz)
@@ -58,6 +63,7 @@ class RuntimeMetadata:
         Returns -1 for slots that do not hold a matrix (scalars,
         distributed handles) — callers skip the divergence check then.
         """
+        lockset.note_access("RuntimeMetadata", self, "slots")
         meta = self._slots.get(slot)
         if meta is not None and meta.nnz >= 0:
             return meta.nnz

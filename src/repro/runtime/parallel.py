@@ -30,6 +30,8 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.analysis import lockset
+
 
 class ThreadBudget:
     """A token pool bounding the process's concurrently active workers."""
@@ -38,7 +40,10 @@ class ThreadBudget:
         if total is None or total <= 0:
             total = max(8, os.cpu_count() or 1)
         self.total = total
-        self._lock = threading.Lock()
+        # Tracked (lockset.make_lock) so the race detector can verify
+        # the token-count protocol; the process-global budget below is
+        # created at import, long before any checker is enabled.
+        self._lock = lockset.make_lock("ThreadBudget._lock")
         self._active = 0
         #: Peak simultaneously granted tokens (observability for the
         #: oversubscription guard tests and ``parallel_summary``).
@@ -61,6 +66,7 @@ class ThreadBudget:
             self.total, limit
         )
         with self._lock:
+            lockset.note_access("ThreadBudget", self, "active")
             available = max(0, total - self._active)
             granted = max(minimum, min(requested, available))
             self._active += granted
@@ -71,6 +77,7 @@ class ThreadBudget:
         if granted <= 0:
             return
         with self._lock:
+            lockset.note_access("ThreadBudget", self, "active")
             self._active -= granted
 
 

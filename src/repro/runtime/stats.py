@@ -16,8 +16,9 @@ disjoint counter families never race through it.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
+
+from repro.analysis import lockset
 
 
 @dataclass
@@ -100,6 +101,12 @@ class RuntimeStats:
     n_kernel_failures: int = 0  # kernel compiles that failed (operator pinned interpreted)
     n_source_cache_hits: int = 0  # exec() compiles skipped via the source-hash cache
 
+    # Static analysis (repro.analysis): verifier, lint, lockset.
+    n_verified_programs: int = 0  # compiles that passed pipeline verification
+    n_verifier_findings: int = 0  # IR-verifier findings raised
+    n_lint_rejects: int = 0  # generated sources rejected by kernel lint
+    n_lockset_reports: int = 0  # empty-lockset race reports emitted
+
     # Serving subsystem (prepared programs + session scheduler).
     n_requests_served: int = 0
     n_requests_batched: int = 0  # requests that ran inside a micro-batch
@@ -123,7 +130,8 @@ class RuntimeStats:
     def __post_init__(self):
         # Reentrant: the distributed backend mutates shared stats while
         # an executor run already holds the lock for the whole program.
-        self.lock = threading.RLock()
+        # Tracked so the lockset detector sees it in held-lock sets.
+        self.lock = lockset.make_rlock("RuntimeStats.lock")
 
     def scheduling_summary(self) -> dict:
         """Executor scheduling counters (bench harness JSON output)."""
@@ -233,6 +241,15 @@ class RuntimeStats:
             "recompile_divergence_hist": dict(self.recompile_divergence_hist),
         }
 
+    def analysis_summary(self) -> dict:
+        """Static-analysis counters (verifier, lint, lockset)."""
+        return {
+            "n_verified_programs": self.n_verified_programs,
+            "n_verifier_findings": self.n_verifier_findings,
+            "n_lint_rejects": self.n_lint_rejects,
+            "n_lockset_reports": self.n_lockset_reports,
+        }
+
     def record_spoof(self, template_name: str) -> None:
         """Count one execution of a generated operator."""
         count = self.spoof_executions.get(template_name, 0)
@@ -254,8 +271,11 @@ class RuntimeStats:
         serving) cannot lose updates through a merge.
         """
         with self.lock:
+            note = lockset.active() is not None
             for key, value in other.__dict__.items():
                 if isinstance(value, dict):
+                    if not value:
+                        continue
                     mine = getattr(self, key)
                     for name, count in value.items():
                         mine[name] = mine.get(name, 0) + count
@@ -266,3 +286,7 @@ class RuntimeStats:
                     setattr(self, key, max(getattr(self, key), value))
                 elif value:
                     setattr(self, key, getattr(self, key) + value)
+                else:
+                    continue
+                if note:
+                    lockset.note_access("RuntimeStats", self, key)

@@ -1,0 +1,186 @@
+"""Lockset race detection: tracked locks, Eraser state machine, runtime.
+
+The regression anchor is two-sided: the detector must flag a
+deliberately unguarded shared counter (true positive) and stay silent
+over the runtime's real concurrent paths — plan-cache sharing, the
+serving-style overlap of executor runs — whose locking conventions it
+encodes (no false positives).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.analysis import lockset
+from repro.compiler.execution import Engine
+from repro.config import CodegenConfig
+from repro.runtime.stats import RuntimeStats
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_checker():
+    """Lockset checking is process-global: never leak it across tests."""
+    lockset.disable()
+    yield
+    lockset.disable()
+
+
+class _Shared:
+    def __init__(self):
+        self.value = 0
+
+
+def _run_threads(n, target):
+    threads = [threading.Thread(target=target) for _ in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestTrackedLock:
+    def test_with_block_tracks_held_set(self):
+        lock = lockset.make_lock("t")
+        with lockset.lockset_debug() as checker:
+            obj = _Shared()
+            with lock:
+                lockset.note_access("S", obj, "value")
+        assert checker.reports == []
+
+    def test_rlock_reentry(self):
+        lock = lockset.make_rlock("r")
+        with lock:
+            with lock:
+                pass
+        # Fully released: a fresh acquire from this thread still works.
+        assert lock.acquire(blocking=False)
+        lock.release()
+
+    def test_noop_without_active_checker(self):
+        assert lockset.active() is None
+        lockset.note_access("S", _Shared(), "value")  # must not raise
+
+
+class TestEraserStateMachine:
+    def test_unguarded_counter_flagged_once(self):
+        counter = _Shared()
+        stats = RuntimeStats()
+        # Both threads must be alive at once: a dead thread's ident can
+        # be reused, which would make two sequential threads look like
+        # one to the (ident-keyed) exclusive-state tracking.
+        barrier = threading.Barrier(2)
+        with lockset.lockset_debug(stats=stats) as checker:
+            def worker():
+                barrier.wait()
+                for _ in range(50):
+                    lockset.note_access("Counter", counter, "value")
+                    counter.value += 1
+
+            _run_threads(2, worker)
+        reports = [r for r in checker.reports if r.struct == "Counter"]
+        assert len(reports) == 1
+        assert reports[0].field == "value"
+        assert "no consistently held lock" in str(reports[0])
+        assert stats.n_lockset_reports == 1
+
+    def test_guarded_counter_clean(self):
+        counter = _Shared()
+        lock = lockset.make_lock("counter.lock")
+        with lockset.lockset_debug() as checker:
+            def worker():
+                for _ in range(50):
+                    with lock:
+                        lockset.note_access("Counter", counter, "value")
+                        counter.value += 1
+
+            _run_threads(4, worker)
+        assert checker.reports == []
+
+    def test_inconsistent_locking_flagged(self):
+        """Each thread locks, but not the *same* lock -> empty lockset."""
+        counter = _Shared()
+        locks = [lockset.make_lock("a"), lockset.make_lock("b")]
+        barrier = threading.Barrier(2)
+        with lockset.lockset_debug() as checker:
+            # Two rounds: the first access is exclusive, the second
+            # thread seeds the candidate set with its own lock, and the
+            # second round's cross-thread access empties it.
+            def worker(lock):
+                for _ in range(2):
+                    barrier.wait()
+                    with lock:
+                        lockset.note_access("Counter", counter, "value")
+
+            threads = [
+                threading.Thread(target=worker, args=(lock,))
+                for lock in locks
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert [r.field for r in checker.reports] == ["value"]
+
+    def test_single_thread_stays_exclusive(self):
+        counter = _Shared()
+        with lockset.lockset_debug() as checker:
+            for _ in range(10):
+                lockset.note_access("Counter", counter, "value")
+        assert checker.reports == []
+        assert checker.summary()["n_fields_tracked"] == 1
+
+
+class TestRuntimeCleanliness:
+    def test_concurrent_engine_load_runs_clean(self):
+        """Serving-style overlap: shared engine, plan cache, stats."""
+        engine = Engine(
+            mode="gen", config=CodegenConfig(lockset_debug=True)
+        )
+        checker = lockset.active()
+        assert checker is not None
+        rng = np.random.default_rng(5)
+        data = rng.random((30, 10))
+        vec = rng.random((10, 1))
+
+        def job():
+            for _ in range(3):
+                x = api.matrix(data, "X")
+                v = api.matrix(vec, "v")
+                expr = (x.T @ (x @ v)).sum() + api.exp(x * 0.5).sum()
+                engine.execute([expr.hop])
+
+        _run_threads(4, job)
+        assert checker.summary()["reports"] == []
+        assert engine.stats.n_lockset_reports == 0
+        assert checker.summary()["n_fields_tracked"] > 0
+        engine.close()
+
+    def test_serving_scheduler_runs_clean(self):
+        """Concurrent serving: scheduler workers over one shared engine."""
+        from repro.serve import SessionScheduler
+
+        engine = Engine(
+            mode="gen", config=CodegenConfig(lockset_debug=True)
+        )
+        checker = lockset.active()
+        assert checker is not None
+        scorer = engine.prepare_script(
+            "input X, w\nmargin = X %*% w\n",
+            name="score", batch_inputs=("X",),
+        )
+        rng = np.random.default_rng(9)
+        weights = rng.random((40, 1))
+        with SessionScheduler(engine, n_workers=4, max_batch=4) as server:
+            tickets = [
+                server.submit(
+                    scorer, {"X": rng.random((32, 40)), "w": weights}
+                )
+                for _ in range(12)
+            ]
+            for ticket in tickets:
+                ticket.result(60)
+        assert checker.summary()["reports"] == []
+        assert engine.stats.n_lockset_reports == 0
+        engine.close()

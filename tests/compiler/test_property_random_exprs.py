@@ -162,6 +162,13 @@ def _strategy_configs() -> dict[str, CodegenConfig]:
     the compiled vectorized kernels (default threshold 0), and
     ``tiered`` starts interpreted and promotes mid-sequence at hotness
     2 — every strategy must agree with the base interpreter.
+
+    The ``verified`` leg is the static-analysis differential check:
+    every random DAG also compiles and runs under ``verify_level=full``
+    (per-pass DAG verification, post-lowering program verification,
+    generated-kernel lint), asserting the verifier reports zero
+    findings on healthy programs — the false-positive guard for the
+    analysis passes.
     """
     return {
         "interpreted": CodegenConfig(intra_op_threads=1,
@@ -172,6 +179,7 @@ def _strategy_configs() -> dict[str, CodegenConfig]:
         "intra-op-4": CodegenConfig(intra_op_threads=4, intra_op_min_cells=1),
         "spark": CodegenConfig(cluster=ClusterConfig(),
                                local_mem_budget=1e4),
+        "verified": CodegenConfig(intra_op_threads=1, verify_level="full"),
     }
 
 
@@ -197,3 +205,9 @@ def test_execution_strategies_agree_on_random_dags(dag):
                 actual, expected, rtol=1e-7, atol=1e-9,
                 err_msg=f"strategy={name} output={idx}",
             )
+        if config.verify_level != "off":
+            # Healthy programs must verify clean: a finding here is a
+            # verifier false positive (or a genuine compiler bug).
+            assert engine.stats.n_verifier_findings == 0
+            assert engine.stats.n_lint_rejects == 0
+            assert engine.stats.n_verified_programs > 0
