@@ -118,7 +118,8 @@ def run_warm(n_clients: int) -> dict:
                 x = data["xs"][index * REQUESTS_PER_CLIENT + request]
                 tickets.append(
                     (index * REQUESTS_PER_CLIENT + request,
-                     server.submit(prepared, {"X": x, "w": data["w"]}))
+                     server.submit(prepared, {"X": x, "w": data["w"]},
+                                   tenant=f"tenant{index % 2}"))
                 )
             for key, ticket in tickets:
                 results[key] = ticket.result(120)
@@ -196,6 +197,20 @@ def test_warm_serving_amortizes_compilation(benchmark):
     assert warm["compile_overhead_per_request"] == 0.0
     assert warm["serving_summary"]["n_specialization_misses"] <= 1
 
+    # Observability acceptance: serving_summary reports real
+    # (non-degenerate) latency/queue percentiles per tenant under the
+    # mixed-client load — every client submitted as tenant0 or tenant1.
+    summary = warm["serving_summary"]
+    assert summary["latency_p50"] > 0.0
+    assert summary["latency_p99"] >= summary["latency_p50"]
+    assert summary["latency_p95"] >= summary["latency_p50"]
+    assert summary["queue_p99"] >= summary["queue_p50"] >= 0.0
+    per_tenant = summary["per_tenant"]
+    assert set(per_tenant) == {"tenant0", "tenant1"}
+    for tenant, row in per_tenant.items():
+        assert row["n"] > 0, f"{tenant} recorded no requests"
+        assert row["latency_p99"] >= row["latency_p50"] > 0.0
+
     # Concurrent warm results are identical to serial execution.
     reference = serial_reference(warm["prepared"], 8 * REQUESTS_PER_CLIENT)
     assert set(warm["results"]) == set(reference)
@@ -225,7 +240,17 @@ def main() -> None:
     )
     print(f"\nper-request compile overhead reduction (warm vs cold): "
           f">= {min(reduction, 1e6):.0f}x")
-    print(f"serving summary: {last['serving']}")
+    serving = last["serving"]
+    print(f"latency p50/p95/p99: {serving['latency_p50']*1e3:.2f}/"
+          f"{serving['latency_p95']*1e3:.2f}/"
+          f"{serving['latency_p99']*1e3:.2f} ms; "
+          f"queue p50/p99: {serving['queue_p50']*1e3:.2f}/"
+          f"{serving['queue_p99']*1e3:.2f} ms")
+    for tenant, row in sorted(serving["per_tenant"].items()):
+        print(f"  {tenant}: n={row['n']} "
+              f"p50={row['latency_p50']*1e3:.2f}ms "
+              f"p99={row['latency_p99']*1e3:.2f}ms")
+    print(f"serving summary: {serving}")
     path = maybe_export_json(
         "serving_throughput", results,
         extra={"rows": ROWS, "cols": COLS,

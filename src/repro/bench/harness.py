@@ -31,6 +31,9 @@ class BenchResult:
     seconds: dict[str, float] = field(default_factory=dict)
     # Per-mode scheduling stats (RuntimeStats.scheduling_summary()).
     stats: dict = field(default_factory=dict)
+    # Per-mode trace phase breakdown (phase_summary()), filled when the
+    # benchmark runs with tracing enabled.
+    phases: dict = field(default_factory=dict)
 
     def speedup(self, baseline: str, mode: str) -> float:
         return self.seconds[baseline] / max(self.seconds[mode], 1e-12)
@@ -44,6 +47,7 @@ class BenchResult:
             "label": self.label,
             "seconds": dict(self.seconds),
             "scheduling": dict(self.stats),
+            "phases": dict(self.phases),
         }
 
 
@@ -59,15 +63,38 @@ def time_best(func, repeats: int = 3) -> float:
     return min(time_once(func) for _ in range(repeats))
 
 
+def phase_summary(engine) -> dict:
+    """Trace-derived phase breakdown for one engine's buffered spans.
+
+    Aggregates the engine tracer's span buffer by category: per-cat
+    span count and total seconds, plus the compiler's per-pass timings
+    from stats.  Empty ``by_category`` when ``trace_level="off"``.
+    """
+    by_cat: dict[str, dict] = {}
+    for span in engine.tracer.events():
+        if span.duration <= 0.0:
+            continue
+        entry = by_cat.setdefault(span.cat, {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += span.duration
+    return {
+        "trace_level": engine.config.trace_level,
+        "by_category": by_cat,
+        "pipeline_pass_seconds": dict(engine.stats.pipeline_pass_seconds),
+    }
+
+
 def run_modes(build_exprs, modes: list[str], repeats: int = 3,
               config_factory=None, warmup: bool = True,
-              collect_stats: dict | None = None) -> dict[str, float]:
+              collect_stats: dict | None = None,
+              collect_phases: dict | None = None) -> dict[str, float]:
     """Time ``eval_all(build_exprs())`` under each engine mode.
 
     A fresh engine per mode; one warmup run compiles fused operators so
     measured runs hit the plan cache (the paper reports post-JIT means).
     When ``collect_stats`` (a dict) is passed, it is filled with each
-    mode's executor scheduling summary after the timed runs.
+    mode's executor scheduling summary after the timed runs; likewise
+    ``collect_phases`` receives each mode's :func:`phase_summary`.
     """
     results: dict[str, float] = {}
     for mode in modes:
@@ -82,6 +109,8 @@ def run_modes(build_exprs, modes: list[str], repeats: int = 3,
         results[mode] = time_best(evaluate, repeats)
         if collect_stats is not None:
             collect_stats[mode] = engine.stats.scheduling_summary()
+        if collect_phases is not None:
+            collect_phases[mode] = phase_summary(engine)
     return results
 
 

@@ -119,17 +119,25 @@ class PlanCache:
             event.wait()
 
         try:
-            start = time.perf_counter()
-            name, source = generate_source(cplan, config.inline_primitives)
-            if getattr(config, "verify_level", "off") != "off":
-                from repro.analysis.kernel_lint import check_source
+            from repro.obs import trace as obs_trace
 
-                check_source(name, source, kind="interpreted", stats=stats)
+            tracer = (stats.tracer if stats is not None
+                      else obs_trace.NULL_TRACER)
+            start = time.perf_counter()
+            with tracer.span("codegen-source", cat="compile",
+                             template=cplan.ttype.value):
+                name, source = generate_source(cplan, config.inline_primitives)
+                if getattr(config, "verify_level", "off") != "off":
+                    from repro.analysis.kernel_lint import check_source
+
+                    check_source(name, source, kind="interpreted",
+                                 stats=stats)
             gen_elapsed = time.perf_counter() - start
 
             start = time.perf_counter()
-            genexec = compile_operator(name, source, config.compiler,
-                                       stats=stats)
+            with tracer.span("operator-compile", cat="compile", op=name):
+                genexec = compile_operator(name, source, config.compiler,
+                                           stats=stats)
             compile_elapsed = time.perf_counter() - start
         except BaseException:
             with self._lock:

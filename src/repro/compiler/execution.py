@@ -108,6 +108,11 @@ class Engine:
     def plan_cache(self):
         return self.context.plan_cache
 
+    @property
+    def tracer(self):
+        """The engine's span tracer (no-op unless config.trace_level)."""
+        return self.context.tracer
+
     # ------------------------------------------------------------------
     def compile(self, roots: list[Hop]):
         """Run the compiler pipeline and lower to a runtime Program."""
@@ -115,8 +120,35 @@ class Engine:
 
     def execute(self, roots: list[Hop]) -> list:
         """Compile and execute a multi-root DAG; returns root values."""
-        program = self.compile(roots)
-        return self.executor.run(program)
+        with self.tracer.span("evaluate", cat="request",
+                              n_roots=len(roots)):
+            program = self.compile(roots)
+            return self.executor.run(program)
+
+    # ------------------------------------------------------------------
+    # Observability (repro.obs).
+    # ------------------------------------------------------------------
+    def export_trace(self, path: str) -> str:
+        """Write buffered spans as Chrome trace-event JSON.
+
+        Load the file in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``.  With ``trace_level="off"`` the file holds
+        an empty ``traceEvents`` list.  Returns ``path``.
+        """
+        return self.tracer.export_chrome_trace(path)
+
+    def profile_report(self):
+        """Per-operator profile aggregated from the span buffer.
+
+        Returns a :class:`~repro.obs.profile.ProfileReport`: ``str()``
+        renders the explain-style text table, ``.data`` holds the raw
+        per-operator aggregation.  Requires
+        ``trace_level="instructions"`` or ``"full"`` for per-operator
+        rows (phases-level traces profile compile phases only).
+        """
+        from repro.obs.profile import profile
+
+        return profile(self.tracer, self.stats)
 
     # ------------------------------------------------------------------
     # Serving entry points (thin delegates into repro.serve).

@@ -28,6 +28,7 @@ from repro.hops import memory
 from repro.hops.hop import Hop, collect_dag
 from repro.hops.rewrites import apply_rewrites
 from repro.hops.types import ExecType, OpKind
+from repro.obs import trace as obs_trace
 from repro.runtime.stats import RuntimeStats
 
 #: Engine modes and the codegen policy (None = no codegen pass).
@@ -55,6 +56,12 @@ class CompilationContext:
         self.mode = mode
         self.config = config
         self.stats = stats or RuntimeStats()
+        # One tracer per context (config.trace_level), attached to the
+        # stats object so every layer that already receives stats —
+        # executor, skeletons, kernels, plan cache, scheduler — can
+        # open spans without new plumbing.
+        self.tracer = obs_trace.tracer_for(config)
+        self.stats.tracer = self.tracer
         self.plan_cache = plan_cache or PlanCache(config.plan_cache_enabled)
         self.optimizer = CodegenOptimizer(config, self.plan_cache, self.stats)
         # Serializes compilations through this context: the rewrite /
@@ -145,10 +152,14 @@ def run_passes(roots: list[Hop], passes: list[CompilerPass],
         from repro.analysis.verify import check_dag
     for compiler_pass in passes:
         start = time.perf_counter()
-        roots = compiler_pass.run(roots, ctx)
+        with ctx.tracer.span(compiler_pass.name, cat="compile"):
+            roots = compiler_pass.run(roots, ctx)
         elapsed = time.perf_counter() - start
         seconds = ctx.stats.pipeline_pass_seconds
         seconds[compiler_pass.name] = seconds.get(compiler_pass.name, 0.0) + elapsed
+        ctx.stats.metrics.histogram("compile_phase_seconds").observe(
+            elapsed, phase=compiler_pass.name
+        )
         if per_pass_verify:
             check_dag(roots, ctx, stage=f"after-{compiler_pass.name}")
     return roots
@@ -164,7 +175,7 @@ def compile_program(roots: list[Hop], ctx: CompilationContext,
     """
     from repro.compiler.program import annotate_recompile_markers, lower_program
 
-    with ctx.lock:
+    with ctx.lock, ctx.tracer.span("compile", cat="compile"):
         if passes is None:
             passes = build_pipeline(ctx.mode)
         roots = run_passes(roots, passes, ctx)
@@ -173,24 +184,33 @@ def compile_program(roots: list[Hop], ctx: CompilationContext,
             # Call-time import: see the note in run_passes.
             from repro.analysis.verify import check_dag, check_program
 
-            check_dag(roots, ctx, stage="post-optimization")
+            with ctx.tracer.span("verify-dag", cat="compile"):
+                check_dag(roots, ctx, stage="post-optimization")
         start = time.perf_counter()
-        program = lower_program(
-            roots, ctx.mode, distributed=ctx.config.cluster is not None
-        )
-        # Partition the lowered program into recompilation segments:
-        # instructions whose exec-type / fusion / format choices rest on
-        # unknown or unknown-derived estimates are marked, and the
-        # executor may re-enter this pipeline at those boundaries with
-        # observed metadata spliced in (compiler/recompile.py).
-        ctx.stats.n_marked_instructions += annotate_recompile_markers(program)
+        with ctx.tracer.span("lowering", cat="compile"):
+            program = lower_program(
+                roots, ctx.mode, distributed=ctx.config.cluster is not None
+            )
+            # Partition the lowered program into recompilation segments:
+            # instructions whose exec-type / fusion / format choices
+            # rest on unknown or unknown-derived estimates are marked,
+            # and the executor may re-enter this pipeline at those
+            # boundaries with observed metadata spliced in
+            # (compiler/recompile.py).
+            ctx.stats.n_marked_instructions += annotate_recompile_markers(
+                program
+            )
         elapsed = time.perf_counter() - start
         seconds = ctx.stats.pipeline_pass_seconds
         seconds["lowering"] = seconds.get("lowering", 0.0) + elapsed
+        ctx.stats.metrics.histogram("compile_phase_seconds").observe(
+            elapsed, phase="lowering"
+        )
         if verify:
             # Covers adaptive recompiles too: spliced remainder programs
             # re-enter this pipeline and re-verify automatically.
-            check_program(program, ctx, stage="post-lowering")
+            with ctx.tracer.span("verify-program", cat="compile"):
+                check_program(program, ctx, stage="post-lowering")
             ctx.stats.n_verified_programs += 1
         ctx.stats.n_programs_compiled += 1
         ctx.stats.n_instructions_lowered += program.n_instructions

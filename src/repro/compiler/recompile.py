@@ -217,9 +217,11 @@ class Recompiler:
             if slot in produced
         ]
         root_hops = [producer_hop[program.root_slots[pos]] for pos in positions]
-        cloned = clone_with_observations(
-            root_hops, boundary, values, self.context.config, stats
-        )
+        with self.context.tracer.span("recompile-clone", cat="recompile",
+                                      boundary=len(boundary)):
+            cloned = clone_with_observations(
+                root_hops, boundary, values, self.context.config, stats
+            )
         if self.context.config.verify_level == "full":
             # Verify the spliced sub-DAG before re-entering the
             # pipeline: a bad clone (broken de-fusion, stale boundary

@@ -163,6 +163,18 @@ class CodegenConfig:
     # reports land in RuntimeStats.n_lockset_reports.
     lockset_debug: bool = False
 
+    # Observability (repro.obs): hierarchical span tracing.  'off' uses
+    # the module-level no-op tracer (near-zero cost); 'phases' records
+    # request, compiler-pass, lowering/verify, kernel-compile,
+    # recompile-splice, and serving admission/queue/batch/bind spans;
+    # 'instructions' adds one span per executed instruction (the
+    # profiler's input); 'full' adds operator-body (kernel/interpreted
+    # run) spans.  Spans land in a bounded ring buffer of
+    # trace_buffer_events entries, exportable as Chrome trace-event
+    # JSON via Engine.export_trace() (loadable in Perfetto).
+    trace_level: str = "off"
+    trace_buffer_events: int = 65536
+
     # Code generation backend: 'exec' is the fast in-memory compiler
     # (janino analogue); 'file' writes sources to disk and imports them
     # (javac analogue).

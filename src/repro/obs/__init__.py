@@ -1,0 +1,42 @@
+"""Observability: span tracing, per-operator profiling, metrics.
+
+Three cooperating pieces (ISSUE 8 / ROADMAP item 3):
+
+* :mod:`repro.obs.trace` — a hierarchical span tracer with a bounded
+  ring buffer, gated by ``CodegenConfig.trace_level`` and exportable as
+  Chrome ``trace_event`` JSON (``Engine.export_trace``),
+* :mod:`repro.obs.profile` — aggregates instruction spans into an
+  ``explain()``-style per-operator report (``Engine.profile_report``),
+* :mod:`repro.obs.metrics` — labeled counters / gauges / log-bucketed
+  latency histograms backing the percentile fields of
+  ``RuntimeStats.serving_summary()``.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    FULL,
+    INSTRUCTIONS,
+    LEVELS,
+    NULL_TRACER,
+    OFF,
+    PHASES,
+    Span,
+    Tracer,
+    tracer_for,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "tracer_for",
+    "NULL_TRACER",
+    "LEVELS",
+    "OFF",
+    "PHASES",
+    "INSTRUCTIONS",
+    "FULL",
+]

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
@@ -52,6 +53,7 @@ from repro.analysis import lockset
 from repro.config import CodegenConfig
 from repro.errors import RuntimeExecError
 from repro.hops.types import ExecType
+from repro.obs import trace as obs_trace
 from repro.runtime.matrix import MatrixBlock
 from repro.runtime.meta import RuntimeMetadata
 from repro.runtime.parallel import shared_budget
@@ -62,6 +64,27 @@ def _record_output(stats: RuntimeStats, result) -> None:
     stats.n_intermediates += 1
     if isinstance(result, MatrixBlock):
         stats.bytes_written += result.size_bytes
+
+
+def _instr_label(instr) -> str:
+    """Stable span/profile label for one instruction."""
+    if instr.opcode == "spoof":
+        return f"spoof:{instr.hop.operator.cplan.ttype.value}"
+    if instr.opcode == "fused":
+        name = getattr(instr.fused_match, "name", None) or "match"
+        return f"fused:{name}"
+    return f"{instr.opcode}:{instr.hop.opcode()}"
+
+
+def _moved_bytes(inputs: list, result) -> float:
+    """Bytes an instruction touched: matrix inputs plus its output."""
+    total = 0.0
+    for value in inputs:
+        if isinstance(value, MatrixBlock):
+            total += value.size_bytes
+    if isinstance(result, MatrixBlock):
+        total += result.size_bytes
+    return total
 
 
 def execute_instruction(instr, inputs: list, config: CodegenConfig,
@@ -180,39 +203,50 @@ class ProgramExecutor:
             self._epoch += 1
             epoch = self._epoch
 
-        if self.spark is not None:
-            # The simulated distributed backend mutates shared cache /
-            # cost state: serialize whole runs and record directly into
-            # the shared stats (held for the duration of the run).
-            with self._spark_run_lock, self.stats.lock:
-                # Previous programs' intermediate lineages (and inputs
-                # whose guard died) can never be probed again — release
-                # their share of the modeled aggregate memory.
-                self.spark.prune_cache(epoch)
-                self._run_serial(program, values, self.stats, epoch)
-        elif self._should_parallelize(program):
-            # Draw worker tokens from the process-wide budget: when the
-            # serving scheduler or other in-flight runs already claim
-            # the machine, this run degrades (fewer in-flight
-            # instructions, or fully serial) instead of oversubscribing.
-            budget = shared_budget()
-            granted = budget.acquire(
-                self.n_threads, limit=self.config.thread_budget or None
-            )
-            run_stats = RuntimeStats()
-            try:
-                if granted >= 2:
-                    self._run_parallel(program, values, run_stats, granted)
-                else:
-                    run_stats.n_budget_degraded_runs += 1
-                    self._run_serial(program, values, run_stats, epoch)
-            finally:
-                budget.release(granted)
-            self.stats.merge(run_stats)
-        else:
-            run_stats = RuntimeStats()
-            self._run_serial(program, values, run_stats, epoch)
-            self.stats.merge(run_stats)
+        tracer = self.stats.tracer
+        started = time.perf_counter()
+        with tracer.span("request", cat="request",
+                         n_instructions=program.n_instructions):
+            if self.spark is not None:
+                # The simulated distributed backend mutates shared cache
+                # / cost state: serialize whole runs and record directly
+                # into the shared stats (held for the whole run).
+                with self._spark_run_lock, self.stats.lock:
+                    # Previous programs' intermediate lineages (and
+                    # inputs whose guard died) can never be probed again
+                    # — release their share of the modeled memory.
+                    self.spark.prune_cache(epoch)
+                    self._run_serial(program, values, self.stats, epoch)
+            elif self._should_parallelize(program):
+                # Draw worker tokens from the process-wide budget: when
+                # the serving scheduler or other in-flight runs already
+                # claim the machine, this run degrades (fewer in-flight
+                # instructions, or fully serial) instead of
+                # oversubscribing.
+                budget = shared_budget()
+                granted = budget.acquire(
+                    self.n_threads, limit=self.config.thread_budget or None
+                )
+                run_stats = RuntimeStats()
+                run_stats.tracer = tracer
+                try:
+                    if granted >= 2:
+                        self._run_parallel(program, values, run_stats,
+                                           granted)
+                    else:
+                        run_stats.n_budget_degraded_runs += 1
+                        self._run_serial(program, values, run_stats, epoch)
+                finally:
+                    budget.release(granted)
+                self.stats.merge(run_stats)
+            else:
+                run_stats = RuntimeStats()
+                run_stats.tracer = tracer
+                self._run_serial(program, values, run_stats, epoch)
+                self.stats.merge(run_stats)
+        self.stats.metrics.histogram("executor_run_seconds").observe(
+            time.perf_counter() - started
+        )
         return [self._as_root_value(values[slot])
                 for slot in program.root_slots]
 
@@ -294,6 +328,10 @@ class ProgramExecutor:
         )
         adaptive = self._adaptive_for(program)
         meta = RuntimeMetadata() if adaptive else None
+        tracer = stats.tracer
+        # Hoisted level check: at trace_level "off"/"phases" the loop
+        # below pays one branch per instruction, nothing else.
+        trace_instr = tracer.enabled(obs_trace.INSTRUCTIONS)
         executed = 0
         for instr in program.instructions:
             if (
@@ -302,20 +340,33 @@ class ProgramExecutor:
                 and recompiles_done < self.config.max_recompiles_per_run
                 and self._diverged(instr, values, meta, stats)
             ):
-                self._recompile_and_finish(
-                    program, instr.index, values, stats, epoch,
-                    recompiles_done
-                )
+                with tracer.span("recompile-splice", cat="recompile",
+                                 at_instruction=instr.index,
+                                 op=_instr_label(instr)):
+                    self._recompile_and_finish(
+                        program, instr.index, values, stats, epoch,
+                        recompiles_done
+                    )
                 break  # the remainder ran inside the recompiled program
             inputs = [values[slot] for slot in instr.input_slots]
             input_keys = output_key = None
             if slot_keys is not None:
                 input_keys = [slot_keys[slot] for slot in instr.input_slots]
                 output_key = slot_keys[instr.output_slot]
-            result = execute_instruction(
-                instr, inputs, self.config, stats, self.spark,
-                input_keys, output_key
-            )
+            if trace_instr:
+                with tracer.span(_instr_label(instr), cat="instruction",
+                                 level=obs_trace.INSTRUCTIONS,
+                                 index=instr.index) as span:
+                    result = execute_instruction(
+                        instr, inputs, self.config, stats, self.spark,
+                        input_keys, output_key
+                    )
+                    span.annotate(bytes=_moved_bytes(inputs, result))
+            else:
+                result = execute_instruction(
+                    instr, inputs, self.config, stats, self.spark,
+                    input_keys, output_key
+                )
             values[instr.output_slot] = result
             executed += 1
             if meta is not None:
@@ -344,6 +395,7 @@ class ProgramExecutor:
         triggers when the worst ratio crosses the configured threshold.
         ``+1`` smoothing keeps empty observations finite.
         """
+        tracer = stats.tracer
         worst = 0.0
         for slot, est_nnz, _cells in instr.meta_checks:
             observed = meta.observed_nnz(slot, values)
@@ -357,6 +409,12 @@ class ProgramExecutor:
             stats.record_divergence(ratio)
             if ratio >= self.config.recompile_divergence_ratio:
                 stats.n_estimate_misses += 1
+            if tracer.level >= obs_trace.PHASES:
+                tracer.instant(
+                    "meta-check", cat="recompile", op=_instr_label(instr),
+                    slot=slot, nnz_est=est_nnz, nnz_obs=observed,
+                    ratio=ratio,
+                )
             worst = max(worst, ratio)
         return worst >= self.config.recompile_divergence_ratio
 
@@ -414,6 +472,8 @@ class ProgramExecutor:
         instructions = program.instructions
         counts = list(program.consumer_counts)
         pinned = program.pinned
+        tracer = run_stats.tracer
+        trace_instr = tracer.enabled(obs_trace.INSTRUCTIONS)
         # Bound in-flight instructions to the budget tokens granted for
         # this run; ready instructions beyond the cap wait in a queue.
         cap = max_concurrency if max_concurrency else self.n_threads
@@ -440,6 +500,7 @@ class ProgramExecutor:
             # Per-task stats keep kernel-level recording race-free; they
             # merge into the run stats under the scheduler lock.
             local_stats = RuntimeStats()
+            local_stats.tracer = tracer
             with lock:
                 state["running"] += 1
                 state["max_running"] = max(
@@ -447,9 +508,20 @@ class ProgramExecutor:
                 )
             try:
                 inputs = [values[slot] for slot in instr.input_slots]
-                result = execute_instruction(
-                    instr, inputs, self.config, local_stats, self.spark
-                )
+                if trace_instr:
+                    with tracer.span(_instr_label(instr),
+                                     cat="instruction",
+                                     level=obs_trace.INSTRUCTIONS,
+                                     index=instr.index) as span:
+                        result = execute_instruction(
+                            instr, inputs, self.config, local_stats,
+                            self.spark
+                        )
+                        span.annotate(bytes=_moved_bytes(inputs, result))
+                else:
+                    result = execute_instruction(
+                        instr, inputs, self.config, local_stats, self.spark
+                    )
             except BaseException as exc:  # propagate to the caller
                 with lock:
                     if state["error"] is None:

@@ -66,9 +66,15 @@ def resolve_kernel(operator, config, stats=None):
             return None
         promoted = operator.hotness > 1
         from repro.codegen.npgen import compile_kernel
+        from repro.obs import trace as obs_trace
 
+        tracer = (stats.tracer if stats is not None
+                  else obs_trace.NULL_TRACER)
         try:
-            kernel = compile_kernel(operator.cplan, config, stats)
+            with tracer.span("kernel-compile", cat="kernel",
+                             op=operator.name,
+                             template=operator.cplan.ttype.value):
+                kernel = compile_kernel(operator.cplan, config, stats)
         except Exception:
             operator.kernel_failed = True
             if stats is not None:
@@ -79,6 +85,8 @@ def resolve_kernel(operator, config, stats=None):
         stats.n_kernel_compiles += 1
         if promoted:
             stats.n_kernel_promotions += 1
+            tracer.instant("kernel-promote", cat="kernel",
+                           op=operator.name, hotness=operator.hotness)
     return kernel
 
 

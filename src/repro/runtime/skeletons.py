@@ -25,6 +25,7 @@ import numpy as np
 from repro.codegen.cplan import Access, CPlan, OutType
 from repro.codegen.template import TemplateType
 from repro.errors import RuntimeExecError
+from repro.obs import trace as obs_trace
 from repro.runtime.compressed import CompressedMatrix
 from repro.runtime.matrix import MatrixBlock, recommend_format
 from repro.runtime.parallel import run_tasks
@@ -157,12 +158,43 @@ def execute_operator(operator, inputs: list, config, stats=None,
             stats.n_compiled_runs += 1
         else:
             stats.n_interpreted_runs += 1
-    if allow_parallel and config.effective_intra_op_threads() > 1:
-        plan = _plan_intra_op(cplan, inputs, config)
-        if plan is not None:
-            return _execute_intra_op(operator, plan, config, stats,
-                                     kernel=kernel)
-    return _execute_serial(operator, inputs, config, kernel=kernel)
+    tracer = stats.tracer if stats is not None else obs_trace.NULL_TRACER
+    tier = _tier_name(kernel)
+    if tracer.level >= obs_trace.INSTRUCTIONS:
+        # Enrich the executor's enclosing instruction span (same
+        # thread) with what the profiler attributes per operator.
+        tracer.annotate(template=cplan.ttype.value, tier=tier,
+                        fmt=_main_input_format(cplan, inputs))
+    with tracer.span(f"op:{cplan.ttype.value}", cat="operator",
+                     level=obs_trace.FULL, tier=tier):
+        if allow_parallel and config.effective_intra_op_threads() > 1:
+            plan = _plan_intra_op(cplan, inputs, config)
+            if plan is not None:
+                return _execute_intra_op(operator, plan, config, stats,
+                                         kernel=kernel)
+        return _execute_serial(operator, inputs, config, kernel=kernel)
+
+
+def _tier_name(kernel) -> str:
+    """The execution tier a resolved kernel implies."""
+    if kernel is None:
+        return "interpreted"
+    if getattr(kernel, "numba_entry", None) is not None \
+            and not getattr(kernel, "numba_failed", False):
+        return "numba"
+    return "kernel"
+
+
+def _main_input_format(cplan: CPlan, inputs: list) -> str:
+    """Storage format of the operator's main input."""
+    if not 0 <= cplan.main_index < len(inputs):
+        return "scalar"
+    main = inputs[cplan.main_index]
+    if isinstance(main, CompressedMatrix):
+        return "compressed"
+    if isinstance(main, MatrixBlock):
+        return "csr" if main.is_sparse else "dense"
+    return "scalar"
 
 
 def _consult_observed_sparsity(cplan: CPlan, inputs: list, config,

@@ -16,9 +16,11 @@ disjoint counter families never race through it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.analysis import lockset
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass
@@ -132,6 +134,23 @@ class RuntimeStats:
         # an executor run already holds the lock for the whole program.
         # Tracked so the lockset detector sees it in held-lock sets.
         self.lock = lockset.make_rlock("RuntimeStats.lock")
+        # The engine's span tracer rides on stats because stats already
+        # reach every instrumentation point (executor, skeletons, plan
+        # cache, scheduler).  Engines replace the no-op default when
+        # trace_level != "off"; run-local stats copy the shared tracer.
+        self.tracer = NULL_TRACER
+        # Metrics registry, created lazily: run-local stats objects are
+        # constructed per executor task, and most never touch metrics.
+        self._metrics: MetricsRegistry | None = None
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The labeled counter/gauge/histogram registry (lazy)."""
+        if self._metrics is None:
+            with self.lock:
+                if self._metrics is None:
+                    self._metrics = MetricsRegistry()
+        return self._metrics
 
     def scheduling_summary(self) -> dict:
         """Executor scheduling counters (bench harness JSON output)."""
@@ -181,10 +200,53 @@ class RuntimeStats:
             "sim_collect_mb": self.sim_collect_bytes / 1e6,
         }
 
+    def observe_request(self, program: str, tenant: str,
+                        queue_seconds: float, exec_seconds: float,
+                        latency_seconds: float) -> None:
+        """Record one served request into the latency histograms.
+
+        Labeled by (tenant, program) so ``serving_summary()`` can report
+        percentiles per tenant as well as in aggregate.  The metrics
+        registry takes its own lock; callers need not hold stats.lock.
+        """
+        labels = {"tenant": tenant, "program": program}
+        metrics = self.metrics
+        metrics.histogram("serve_latency_seconds").observe(
+            latency_seconds, **labels
+        )
+        metrics.histogram("serve_queue_seconds").observe(
+            queue_seconds, **labels
+        )
+        metrics.histogram("serve_exec_seconds").observe(
+            exec_seconds, **labels
+        )
+
     def serving_summary(self) -> dict:
-        """Per-request serving telemetry plus plan-cache health."""
+        """Per-request serving telemetry plus plan-cache health.
+
+        All pre-percentile keys are preserved; the p50/p95/p99 fields
+        (and the per-tenant breakdown) come from the log-bucketed
+        latency histograms the scheduler feeds via
+        :meth:`observe_request`.
+        """
+        latency = self.metrics.histogram("serve_latency_seconds")
+        queue = self.metrics.histogram("serve_queue_seconds")
+        lat_all = latency.aggregate()
+        queue_all = queue.aggregate()
+        per_tenant = {
+            tenant: {"n": cell.count, "latency_p50": cell.percentile(50),
+                     "latency_p99": cell.percentile(99),
+                     "mean_latency_seconds": cell.mean}
+            for tenant, cell in latency.grouped("tenant").items()
+        }
         served = max(self.n_requests_served, 1)
         return {
+            "latency_p50": lat_all.percentile(50),
+            "latency_p95": lat_all.percentile(95),
+            "latency_p99": lat_all.percentile(99),
+            "queue_p50": queue_all.percentile(50),
+            "queue_p99": queue_all.percentile(99),
+            "per_tenant": per_tenant,
             "n_requests_served": self.n_requests_served,
             "n_requests_batched": self.n_requests_batched,
             "n_batches_executed": self.n_batches_executed,
@@ -256,23 +318,36 @@ class RuntimeStats:
         self.spoof_executions[template_name] = count + 1
 
     def reset(self) -> None:
-        """Zero all counters in place (the lock object is kept)."""
+        """Zero all counters in place (lock and tracer are kept).
+
+        Enumerates ``dataclasses.fields`` so every declared counter —
+        including ones added after this method was written — resets;
+        non-field attributes (lock, tracer, metrics) are handled
+        explicitly.
+        """
         fresh = RuntimeStats()
-        for key, value in fresh.__dict__.items():
-            if isinstance(value, (int, float, dict)):
-                self.__dict__[key] = value
+        with self.lock:
+            for spec in fields(self):
+                setattr(self, spec.name, getattr(fresh, spec.name))
+            if self._metrics is not None:
+                self._metrics.clear()
 
     def merge(self, other: "RuntimeStats") -> None:
         """Accumulate another stats object into this one.
 
-        Zero-valued fields are skipped, so merging a run-local stats
-        object only writes the counter families that run touched —
-        concurrent writers of disjoint families (runtime vs compile vs
-        serving) cannot lose updates through a merge.
+        Enumerates ``dataclasses.fields`` (not instance ``__dict__``),
+        so a newly declared counter can never be silently dropped by a
+        merge; the field audit test locks this in.  Zero-valued fields
+        are skipped, so merging a run-local stats object only writes
+        the counter families that run touched — concurrent writers of
+        disjoint families (runtime vs compile vs serving) cannot lose
+        updates through a merge.
         """
         with self.lock:
             note = lockset.active() is not None
-            for key, value in other.__dict__.items():
+            for spec in fields(other):
+                key = spec.name
+                value = getattr(other, key)
                 if isinstance(value, dict):
                     if not value:
                         continue
@@ -280,7 +355,7 @@ class RuntimeStats:
                     for name, count in value.items():
                         mine[name] = mine.get(name, 0) + count
                 elif not isinstance(value, (int, float)):
-                    continue  # lock and other non-counter attributes
+                    continue  # defensive: non-counter field values
                 elif key in self._GAUGES:
                     # Peak/gauge values combine via max, not addition.
                     setattr(self, key, max(getattr(self, key), value))
@@ -290,3 +365,5 @@ class RuntimeStats:
                     continue
                 if note:
                     lockset.note_access("RuntimeStats", self, key)
+            if other._metrics is not None:
+                self.metrics.merge(other._metrics)

@@ -150,9 +150,11 @@ class PreparedProgram:
             raise ServingError(
                 f"'{self.name}' is missing declared input(s): {missing}"
             )
-        normalized = normalize_inputs(inputs)
-        signature = input_signature(normalized)
-        spec = self._specialize(signature, normalized)
+        with self.engine.tracer.span("serve-bind", cat="serve",
+                                     program=self.name):
+            normalized = normalize_inputs(inputs)
+            signature = input_signature(normalized)
+            spec = self._specialize(signature, normalized)
         bindings = {}
         for input_name, slot in spec.input_slots.items():
             bindings[slot] = normalized[input_name]
@@ -191,7 +193,9 @@ class PreparedProgram:
             event.wait()
 
         try:
-            spec = self._compile(signature, normalized)
+            with self.engine.tracer.span("specialize-compile", cat="serve",
+                                         program=self.name):
+                spec = self._compile(signature, normalized)
         except BaseException:
             with self._lock:
                 failed = self._building.pop(signature, None)

@@ -72,13 +72,15 @@ class ServeTicket:
 
 
 class _Request:
-    __slots__ = ("prepared", "inputs", "ticket", "submitted_at")
+    __slots__ = ("prepared", "inputs", "ticket", "submitted_at", "tenant")
 
-    def __init__(self, prepared, inputs, ticket, submitted_at):
+    def __init__(self, prepared, inputs, ticket, submitted_at,
+                 tenant="default"):
         self.prepared = prepared
         self.inputs = inputs
         self.ticket = ticket
         self.submitted_at = submitted_at
+        self.tenant = tenant
 
 
 class SessionScheduler:
@@ -132,12 +134,17 @@ class SessionScheduler:
         return self.engine.prepare_script(source, name=name,
                                           batch_inputs=batch_inputs)
 
-    def submit(self, prepared: PreparedProgram, inputs: dict) -> ServeTicket:
-        """Enqueue one request; returns a ticket immediately."""
+    def submit(self, prepared: PreparedProgram, inputs: dict,
+               tenant: str = "default") -> ServeTicket:
+        """Enqueue one request; returns a ticket immediately.
+
+        ``tenant`` labels the request's latency/queue-wait histograms,
+        so ``serving_summary()`` reports per-tenant percentiles.
+        """
         normalized = normalize_inputs(inputs)
         ticket = ServeTicket()
         request = _Request(prepared, normalized, ticket,
-                           time.perf_counter())
+                           time.perf_counter(), tenant=tenant)
         with self._cv:
             if self._closed:
                 raise ServingError("scheduler is closed")
@@ -149,9 +156,9 @@ class SessionScheduler:
         return ticket
 
     def serve(self, prepared: PreparedProgram, inputs: dict,
-              timeout: float | None = None):
+              timeout: float | None = None, tenant: str = "default"):
         """Submit and wait: the synchronous convenience path."""
-        return self.submit(prepared, inputs).result(timeout)
+        return self.submit(prepared, inputs, tenant=tenant).result(timeout)
 
     def serving_summary(self) -> dict:
         summary = self.engine.stats.serving_summary()
@@ -196,7 +203,9 @@ class SessionScheduler:
                 limit=self.engine.config.thread_budget or None,
             )
             try:
-                self._execute_batch(batch)
+                with self.engine.tracer.span("serve-batch", cat="serve",
+                                             batch_size=len(batch)):
+                    self._execute_batch(batch)
             except BaseException as error:  # backstop: never lose tickets
                 for request in batch:
                     if not request.ticket.done():
@@ -251,13 +260,16 @@ class SessionScheduler:
     def _admit(self, estimated: float) -> None:
         """Block until the request fits the in-flight memory budget."""
         stats = self.engine.stats
-        with self._cv:
-            waited = False
-            while (self._inflight_bytes > 0.0
-                   and self._inflight_bytes + estimated > self.memory_budget):
-                waited = True
-                self._cv.wait()
-            self._inflight_bytes += estimated
+        with self.engine.tracer.span("serve-admit", cat="serve",
+                                     bytes=estimated):
+            with self._cv:
+                waited = False
+                while (self._inflight_bytes > 0.0
+                       and (self._inflight_bytes + estimated
+                            > self.memory_budget)):
+                    waited = True
+                    self._cv.wait()
+                self._inflight_bytes += estimated
         if waited:
             with stats.lock:
                 stats.n_admission_waits += 1
@@ -327,6 +339,7 @@ class SessionScheduler:
                 batch_size: int) -> None:
         finished_at = time.perf_counter()
         stats = self.engine.stats
+        tracer = self.engine.tracer
         exec_seconds = finished_at - dispatched_at
         total_queue = total_latency = 0.0
         for request, result in zip(batch, results):
@@ -340,6 +353,15 @@ class SessionScheduler:
                 latency_seconds=latency,
                 batch_size=batch_size,
             )
+            # Queue wait as an instant (not an interval): the wait
+            # started on the submitter's thread, so an interval span
+            # here would partially overlap this worker's open spans.
+            tracer.instant("serve-queue", cat="serve",
+                           queue_seconds=queue_seconds,
+                           tenant=request.tenant,
+                           program=request.prepared.name)
+            stats.observe_request(request.prepared.name, request.tenant,
+                                  queue_seconds, exec_seconds, latency)
             request.ticket._resolve(result)
         with stats.lock:
             stats.n_requests_served += len(batch)
