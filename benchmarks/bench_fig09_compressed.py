@@ -95,3 +95,60 @@ def test_fig09_correctness_and_ratio(benchmark, dataset):
         benchmark.extra_info["compression_ratio"] = round(comp.compression_ratio, 2)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig09_dictionary_direct_beats_decompress_first(benchmark, dataset):
+    """CI smoke assertion for the compressed fast path.
+
+    Dictionary-direct execution (sum((X*2)^2) over the compressed
+    block, zero decompressions) must beat decompress-then-execute, hold
+    the compression-ratio floor, and agree bit-for-bit with the dense
+    oracle — the generators produce integer-valued data, so every
+    summation order yields the identical float64.
+    """
+    from repro.bench.harness import (
+        BenchResult, maybe_export_json, time_best,
+    )
+
+    block = _dataset(dataset)
+    comp = _compressed(dataset)
+    assert comp.compression_ratio > 2.0
+
+    def build(value):
+        x = api.matrix(value, "X")
+        return ((x * 2.0) * (x * 2.0)).sum()
+
+    def direct():
+        engine = Engine(mode="gen")
+        result = api.eval(build(comp), engine=engine)
+        summary = engine.stats.compressed_summary()
+        assert summary["n_compressed_ops"] >= 1
+        assert summary["n_decompressions"] == 0
+        return result
+
+    def decompress_first():
+        return api.eval(build(comp.decompress()), engine=Engine(mode="gen"))
+
+    oracle = api.eval(build(block), engine=Engine(mode="base"))
+    assert direct() == oracle  # bit-parity vs the dense oracle
+    assert decompress_first() == oracle
+
+    direct_s = time_best(direct)
+    indirect_s = time_best(decompress_first)
+    speedup = indirect_s / max(direct_s, 1e-12)
+    assert speedup > 1.0, (
+        f"dictionary-direct {direct_s*1e3:.1f}ms not faster than "
+        f"decompress-first {indirect_s*1e3:.1f}ms"
+    )
+
+    result = BenchResult(label=f"fig09-{dataset}")
+    result.seconds["dictionary-direct"] = direct_s
+    result.seconds["decompress-first"] = indirect_s
+    result.stats["compression_ratio"] = round(comp.compression_ratio, 2)
+    result.stats["speedup"] = round(speedup, 2)
+    maybe_export_json("fig09-compressed-smoke", [result])
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["compression_ratio"] = round(comp.compression_ratio, 2)
+    benchmark.pedantic(direct, rounds=1, iterations=1)

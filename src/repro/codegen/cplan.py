@@ -168,3 +168,26 @@ class CPlan:
         parts.extend(r.signature(memo) for r in self.roots)
         digest = hashlib.sha256("§".join(parts).encode()).hexdigest()[:16]
         return digest
+
+
+def compressed_cell_eligible(cplan: CPlan) -> bool:
+    """Dictionary-only execution guard (Figure 9 conditions).
+
+    The single source of truth for the serial cell skeleton, the
+    group-wise intra-op partitioner, the kernel tier's compressed-CELL
+    variant, and npgen's variant emission: sparse-safe, no side inputs,
+    sum-aggregated FULL/MULTI_AGG cell plans execute over distinct
+    dictionary values only.  A static plan property — independent of
+    the bound runtime inputs.
+    """
+    n_sides = sum(
+        1 for idx, spec in enumerate(cplan.inputs)
+        if idx != cplan.main_index and spec.access is not Access.SCALAR
+    )
+    return (
+        cplan.ttype in (TemplateType.CELL, TemplateType.MAGG)
+        and cplan.sparse_safe
+        and n_sides == 0
+        and cplan.out_type in (OutType.FULL_AGG, OutType.MULTI_AGG)
+        and all(a == "sum" for a in cplan.agg_ops)
+    )

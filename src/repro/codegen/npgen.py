@@ -32,7 +32,13 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from repro.codegen.cplan import Access, CNode, CPlan, OutType
+from repro.codegen.cplan import (
+    Access,
+    CNode,
+    CPlan,
+    OutType,
+    compressed_cell_eligible,
+)
 from repro.codegen.pygen import (
     _SCALAR_BINARY_FMT,
     _SCALAR_UNARY_EXPR,
@@ -62,6 +68,11 @@ class CompiledKernel:
     numba_source: str = ""
     numba_entry: object = None
     numba_failed: bool = False
+    # Compressed-CELL variant: runs the vectorized body over each
+    # column group's distinct dictionary values and combines with
+    # counts (emitted only for compressed-eligible cell plans).
+    comp_source: str = ""
+    comp_entry: object = None
 
     @property
     def tier(self) -> str:
@@ -268,6 +279,52 @@ def _csr_main_safe(cplan: CPlan) -> bool:
 
 
 # ----------------------------------------------------------------------
+# Compressed-CELL variant (dictionary-direct tier)
+# ----------------------------------------------------------------------
+def generate_compressed_cell_source(cplan: CPlan) -> tuple[str, str]:
+    """Emit the compressed-CELL kernel variant for an eligible plan.
+
+    ``genkernel_comp(a, c, b, s)`` evaluates the vectorized cell body
+    over one column member's distinct dictionary values ``a`` (1-D) and
+    combines each root with the value counts ``c`` — the Figure 9
+    dictionary-direct execution.  The driver in
+    :mod:`repro.runtime.npexec` sums the per-column contributions.
+    Callers must check :func:`~repro.codegen.cplan
+    .compressed_cell_eligible` first (sparse-safe, side-input-free,
+    sum-aggregated cell plans only).
+    """
+    if not compressed_cell_eligible(cplan):
+        raise CodegenError(
+            f"plan not compressed-cell eligible: {cplan.ttype}"
+        )
+    name = kernel_name(cplan) + "_comp"
+    emitter = _Emitter(cplan, inline_primitives=False)
+    body_lines, result_vars = emitter.emit_roots()
+    final = []
+    parts = []
+    for k, res in enumerate(result_vars):
+        final.append(
+            f"_p{k} = float(np.dot(np.broadcast_to({res}, a.shape), c))"
+        )
+        parts.append(f"_p{k}")
+    if cplan.out_type is OutType.MULTI_AGG:
+        final.append(f"return np.array([{', '.join(parts)}])")
+    else:
+        final.append("return _p0")
+    lines = [
+        f"# generated compressed-cell kernel {name}: {cplan.ttype.value} "
+        f"({cplan.out_type.value})",
+        "import numpy as np",
+        "from repro.runtime import vector as vp",
+        "",
+        "def genkernel_comp(a, c, b, s):",
+    ]
+    lines.extend("    " + line for line in body_lines)
+    lines.extend("    " + line for line in final)
+    return name, "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
 # Numba per-cell variant (optional tier)
 # ----------------------------------------------------------------------
 def generate_numba_source(cplan: CPlan) -> str | None:
@@ -408,6 +465,16 @@ def compile_kernel(cplan: CPlan, config, stats=None) -> CompiledKernel:
         entry=namespace["genkernel"],
         csr_main_safe=csr_safe,
     )
+    if compressed_cell_eligible(cplan):
+        comp_name, comp_source = generate_compressed_cell_source(cplan)
+        if getattr(config, "verify_level", "off") != "off":
+            from repro.analysis.kernel_lint import check_source
+
+            check_source(comp_name, comp_source, kind="vectorized",
+                         stats=stats)
+        comp_ns = compile_source(comp_name, comp_source, "exec", stats=stats)
+        kernel.comp_source = comp_source
+        kernel.comp_entry = comp_ns["genkernel_comp"]
     if getattr(config, "numba_kernels", False):
         _attach_numba(kernel, cplan, config, stats)
     return kernel

@@ -56,6 +56,10 @@ class FusedMatch:
     name: str
     leaves: list[Hop]
     compute: Callable[[list], object]
+    #: Whether ``compute`` executes directly on CompressedMatrix inputs
+    #: (dictionary-direct); the executor decompresses inputs of
+    #: non-capable patterns up front and counts the decompression.
+    compressed_capable: bool = False
 
 
 def _is_t(hop: Hop) -> bool:
@@ -134,23 +138,28 @@ def _match_sum_fused(hop: Hop) -> FusedMatch | None:
         return None
     inner = hop.inputs[0]
     if hop.agg_op is AggOp.SUM_SQ:
-        return FusedMatch("sumsq", [inner], lambda vs: _sumsq_value(vs[0]))
+        return FusedMatch("sumsq", [inner], lambda vs: _sumsq_value(vs[0]),
+                          compressed_capable=True)
     if isinstance(inner, UnaryOp) and inner.op == "pow2":
         return FusedMatch(
-            "sumsq", [inner.inputs[0]], lambda vs: _sumsq_value(vs[0])
+            "sumsq", [inner.inputs[0]], lambda vs: _sumsq_value(vs[0]),
+            compressed_capable=True,
         )
     if isinstance(inner, BinaryOp) and inner.op == "^":
         exp = inner.inputs[1]
         if isinstance(exp, LiteralOp) and exp.value == 2.0:
             return FusedMatch(
-                "sumsq", [inner.inputs[0]], lambda vs: _sumsq_value(vs[0])
+                "sumsq", [inner.inputs[0]], lambda vs: _sumsq_value(vs[0]),
+                compressed_capable=True,
             )
     if isinstance(inner, BinaryOp) and inner.op == "*":
         lhs, rhs = inner.inputs
         if lhs is rhs and lhs.is_matrix:
-            return FusedMatch("sumsq", [lhs], lambda vs: _sumsq_value(vs[0]))
+            return FusedMatch("sumsq", [lhs], lambda vs: _sumsq_value(vs[0]),
+                              compressed_capable=True)
         if lhs.is_matrix and rhs.is_matrix and lhs.dims == rhs.dims:
-            return FusedMatch("sumprod", [lhs, rhs], _sumprod_value)
+            return FusedMatch("sumprod", [lhs, rhs], _sumprod_value,
+                              compressed_capable=True)
     return None
 
 

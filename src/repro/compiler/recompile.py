@@ -51,20 +51,45 @@ from repro.hops.hop import (
     TernaryOp,
     UnaryOp,
 )
+from repro.runtime.compressed import compress, estimate_distinct
 from repro.runtime.matrix import MatrixBlock, recommend_format
 
 _SCALAR_TYPES = (int, float, np.floating, np.integer)
 
 
-def observed_block(value: MatrixBlock, config, stats=None) -> MatrixBlock:
+def observed_block(value: MatrixBlock, config, stats=None):
     """An observed block in the format the shared policy recommends.
 
     Returns a fresh wrapper when a conversion is needed so the caller's
     block (possibly a user-provided program input) is never mutated.
+    The compressed leg samples a distinct-value estimate so the shared
+    policy can recommend ``'compressed'``; blocks below the cell floor
+    skip the estimate entirely (conversion would cost more than it
+    saves).
     """
+    cells = value.rows * value.cols
     target = recommend_format(
         value.rows, value.cols, value.nnz, config.sparse_threshold
     )
+    if (
+        target == "dense"
+        and getattr(config, "compressed_execution", False)
+        and cells >= config.compression_min_cells
+    ):
+        # Only dense-recommended blocks pay the distinct-value sample:
+        # CSR already exploits sparsity, so the scan would rarely flip
+        # the recommendation there but would tax every recompile.
+        distinct = estimate_distinct(value, config.compression_sample_rows)
+        target = recommend_format(
+            value.rows, value.cols, value.nnz, config.sparse_threshold,
+            distinct=distinct,
+            compress_ratio=getattr(config, "compression_min_ratio", 2.0),
+        )
+    if target == "compressed":
+        if stats is not None:
+            stats.n_format_conversions += 1
+            stats.n_compressions += 1
+        return compress(value)
     if target == "sparse" and not value.is_sparse:
         if stats is not None:
             stats.n_format_conversions += 1

@@ -67,6 +67,17 @@ class CodegenConfig:
     # only, not per-kernel output storage.
     sparse_threshold: float = 0.4
 
+    # Compressed (CLA) execution format.  At recompile boundaries the
+    # executor estimates distinct values per column from a leading-row
+    # sample and converts blocks whose estimated compressed size
+    # undercuts dense/CSR by at least compression_min_ratio; small
+    # blocks (below compression_min_cells) never compress — the
+    # conversion cost would dominate any dictionary-direct win.
+    compressed_execution: bool = True
+    compression_min_ratio: float = 2.0
+    compression_min_cells: int = 1 << 14
+    compression_sample_rows: int = 2048
+
     # Adaptive recompilation (dynamic recompile, Section 2.1): lowering
     # marks instructions whose exec-type / fusion / format choices rest
     # on unknown (nnz < 0) or unknown-derived sparsity estimates; at

@@ -8,8 +8,9 @@ analytical cost model of Section 4.3.
 from __future__ import annotations
 
 from repro.config import CodegenConfig
-from repro.hops.hop import AggBinaryOp, Hop
+from repro.hops.hop import AggBinaryOp, DataOp, Hop
 from repro.hops.types import OpKind
+from repro.runtime.compressed import CompressedMatrix
 from repro.runtime.matrix import recommend_format
 
 
@@ -18,10 +19,15 @@ def output_bytes(hop: Hop, threshold: float = 0.4) -> float:
 
     The sparse (CSR) estimate charges 8B values plus 4B column indices
     per non-zero, and a ``rows + 1``-entry (4B) row-pointer array —
-    column indices scale with nnz, indptr with rows.
+    column indices scale with nnz, indptr with rows.  A ``DataOp``
+    bound to a compressed matrix reports the *actual* compressed
+    footprint — that is what the serving admission controller holds
+    resident, and the multiplier CLA buys in admitted concurrency.
     """
     if hop.is_scalar:
         return 8.0
+    if isinstance(hop, DataOp) and isinstance(hop.data, CompressedMatrix):
+        return hop.data.size_bytes
     if recommend_format(hop.rows, hop.cols, hop.nnz, threshold) == "sparse":
         return hop.nnz * 12.0 + (hop.rows + 1) * 4.0
     return hop.cells * 8.0

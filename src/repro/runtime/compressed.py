@@ -80,10 +80,15 @@ class ColumnGroup:
             # The implicit tuple fills the whole column first (it is
             # the zero tuple unless a dictionary transform changed it).
             out[:, list(self.cols)] = self.dictionary[implicit]
+        # Outer row-by-column indexing: rows[:, None] pairs every offset
+        # row with every group column, so a co-coded (multi-column) OLE
+        # group scatters its whole value tuple instead of corrupting
+        # through element-wise fancy-index pairing.
+        cols = list(self.cols)
         for value_idx, rows in enumerate(self.offsets):
             if rows is None:
                 continue
-            out[np.asarray(rows), list(self.cols)] = self.dictionary[value_idx]
+            out[np.asarray(rows)[:, None], cols] = self.dictionary[value_idx]
 
     def size_bytes(self) -> float:
         dict_bytes = self.dictionary.size * 8.0
@@ -104,6 +109,7 @@ class CompressedMatrix:
         self.cols = cols
         self.groups = groups
         self.uncompressed_bytes = uncompressed_bytes
+        self._nnz: int | None = None  # cached (values never mutate)
 
     # ------------------------------------------------------------------
     @property
@@ -120,11 +126,21 @@ class CompressedMatrix:
 
     @property
     def nnz(self) -> int:
-        total = 0
-        for group in self.groups:
-            nz_per_value = np.count_nonzero(group.dictionary, axis=1)
-            total += int(np.dot(nz_per_value, group.counts()))
-        return total
+        if self._nnz is None:
+            total = 0
+            for group in self.groups:
+                nz_per_value = np.count_nonzero(group.dictionary, axis=1)
+                total += int(np.dot(nz_per_value, group.counts()))
+            self._nnz = total
+        return self._nnz
+
+    @property
+    def n_distinct(self) -> float:
+        """Mean distinct-value count per column (format-policy input)."""
+        if not self.groups:
+            return 0.0
+        total = sum(g.n_distinct * len(g.cols) for g in self.groups)
+        return total / max(self.cols, 1)
 
     @property
     def sparsity(self) -> float:
@@ -159,6 +175,45 @@ class CompressedMatrix:
             weighted = group.dictionary * group.counts()[:, None]
             out[0, list(group.cols)] += weighted.sum(axis=0)
         return MatrixBlock(out)
+
+    def col_sums_sq(self) -> MatrixBlock:
+        out = np.zeros((1, self.cols))
+        for group in self.groups:
+            weighted = (group.dictionary ** 2) * group.counts()[:, None]
+            out[0, list(group.cols)] += weighted.sum(axis=0)
+        return MatrixBlock(out)
+
+    def col_reduce(self, reducer) -> MatrixBlock:
+        """Per-column min/max over dictionaries (every tuple occurs)."""
+        out = np.zeros((1, self.cols))
+        for group in self.groups:
+            out[0, list(group.cols)] = reducer(group.dictionary, axis=0)
+        return MatrixBlock(out)
+
+    def row_sums(self) -> MatrixBlock:
+        """Per-row sums via per-group dictionary pre-aggregation.
+
+        OLE groups scatter only their explicit offset lists; the
+        implicit (offset-less) tuple contributes its value to *every*
+        row as a base term — non-zero whenever a dictionary transform
+        (e.g. ``X + 1``) moved the implicit zero — and explicit tuples
+        add their delta against that base, exactly like :meth:`matvec`.
+        """
+        out = np.zeros(self.rows)
+        for group in self.groups:
+            row_contrib = group.dictionary.sum(axis=1)
+            if group.encoding == "ddc":
+                out += row_contrib[group.codes]
+            else:
+                implicit = group.implicit_index
+                base = row_contrib[implicit] if implicit >= 0 else 0.0
+                if base != 0.0:
+                    out += base
+                for value_idx, rows in enumerate(group.offsets):
+                    if rows is None:
+                        continue
+                    out[np.asarray(rows)] += row_contrib[value_idx] - base
+        return MatrixBlock(out.reshape(-1, 1))
 
     def matvec(self, v: np.ndarray) -> MatrixBlock:
         """X @ v via per-group pre-aggregation over the dictionary."""
@@ -202,6 +257,46 @@ class CompressedMatrix:
         )
 
 
+def transform_dictionaries(comp: CompressedMatrix, func) -> CompressedMatrix:
+    """A shallow value-wise transform: dictionaries only.
+
+    Codes/offsets and cached counts are shared with the source (the
+    Figure 9 fast path) — only the per-group dictionaries run through
+    ``func``, so a cell-wise op over a compressed matrix costs
+    O(distinct values), not O(cells).
+    """
+    groups = [
+        ColumnGroup(g.cols, g.encoding, func(g.dictionary), g.codes,
+                    g.offsets, g.counts(), g.n_rows)
+        for g in comp.groups
+    ]
+    return CompressedMatrix(comp.rows, comp.cols, groups,
+                            comp.uncompressed_bytes)
+
+
+def estimate_distinct(block: MatrixBlock, sample_rows: int = 2048) -> float:
+    """Estimated distinct values per column from a leading-row sample.
+
+    Deterministic (no RNG): the first ``sample_rows`` rows bound the
+    O(rows log rows) per-column ``unique`` cost that a full scan would
+    pay.  The estimate feeds the shared format policy's compressed leg;
+    underestimating on a sample only makes compression look better than
+    it is, which the compressor's real ratio then corrects.
+    """
+    rows = min(block.rows, max(int(sample_rows), 1))
+    if rows == 0 or block.cols == 0:
+        return 0.0
+    if block.is_sparse:
+        sample = np.asarray(block.to_csr()[:rows].todense())
+    else:
+        sample = block.to_dense()[:rows]
+    if sample.shape[0] <= 1:
+        return 1.0
+    ordered = np.sort(sample, axis=0)
+    counts = (np.diff(ordered, axis=0) != 0.0).sum(axis=0) + 1
+    return float(np.mean(counts))
+
+
 def cla_kernel(hop, values):
     """Execute a basic HOP over compressed inputs, CLA-style.
 
@@ -215,23 +310,11 @@ def cla_kernel(hop, values):
     from repro.hops.types import AggDir, AggOp
     from repro.runtime import ops as rops
 
-    def transformed(comp: CompressedMatrix, func) -> CompressedMatrix:
-        # Shallow copy: codes/offsets and cached counts are shared, only
-        # the dictionaries are transformed (the Figure 9 fast path).
-        groups = [
-            ColumnGroup(g.cols, g.encoding, func(g.dictionary), g.codes,
-                        g.offsets, g.counts(), g.n_rows)
-            for g in comp.groups
-        ]
-        return CompressedMatrix(comp.rows, comp.cols, groups, comp.uncompressed_bytes)
-
     if isinstance(hop, UnaryOp) and isinstance(values[0], CompressedMatrix):
         if hop.op == "cumsum":
             return None
-        import numpy as _np
-
-        func = lambda d: _np.asarray(rops.unary(hop.op, MatrixBlock(d)).to_dense())
-        return transformed(values[0], func)
+        func = lambda d: np.asarray(rops.unary(hop.op, MatrixBlock(d)).to_dense())
+        return transform_dictionaries(values[0], func)
 
     if isinstance(hop, BinaryOp):
         comp = next((v for v in values if isinstance(v, CompressedMatrix)), None)
@@ -244,7 +327,7 @@ def cla_kernel(hop, values):
                 a, b = (scalar, MatrixBlock(d)) if swapped else (MatrixBlock(d), scalar)
                 return np.asarray(rops.binary(hop.op, a, b).to_dense())
 
-            return transformed(comp, func)
+            return transform_dictionaries(comp, func)
         return None
 
     if isinstance(hop, AggUnaryOp) and isinstance(values[0], CompressedMatrix):
@@ -264,15 +347,7 @@ def cla_kernel(hop, values):
         if hop.direction is AggDir.COL and hop.agg_op is AggOp.SUM:
             return comp.col_sums()
         if hop.direction is AggDir.ROW and hop.agg_op is AggOp.SUM:
-            out = np.zeros(comp.rows)
-            for group in comp.groups:
-                row_contrib = group.dictionary.sum(axis=1)
-                if group.encoding == "ddc":
-                    out += row_contrib[group.codes]
-                else:
-                    for value_idx, rows in enumerate(group.offsets):
-                        out[np.asarray(rows)] += row_contrib[value_idx]
-            return MatrixBlock(out.reshape(-1, 1))
+            return comp.row_sums()
         return None
 
     if isinstance(hop, AggBinaryOp) and isinstance(values[0], CompressedMatrix):

@@ -561,11 +561,14 @@ def _value_bytes(value) -> float:
     return 8.0
 
 
-def _basic_kernel(hop: Hop, values: list) -> object:
+def _basic_kernel(hop: Hop, values: list, stats=None) -> object:
     """Dispatch a basic HOP to the kernel library.
 
-    Compressed inputs first try the CLA kernels (dictionary-only
-    execution); unsupported operations decompress.
+    The kernel library handles compressed inputs natively (dictionary
+    transforms, count-weighted aggregates, pre-aggregated matvec) and
+    decompresses explicitly — counting ``n_decompressions`` — where no
+    dictionary-direct form exists; ``stats`` threads those counters
+    through.
     """
     from repro.hops.hop import (
         AggBinaryOp,
@@ -577,40 +580,31 @@ def _basic_kernel(hop: Hop, values: list) -> object:
         TernaryOp,
         UnaryOp,
     )
-    from repro.runtime.compressed import (
-        CompressedMatrix,
-        cla_kernel,
-        decompress_values,
-    )
-
-    if any(isinstance(v, CompressedMatrix) for v in values):
-        result = cla_kernel(hop, values)
-        if result is not None:
-            return result
-        values = decompress_values(values)
 
     if isinstance(hop, UnaryOp):
         if hop.op == "cumsum":
-            return rops.cumsum(values[0])
-        return rops.unary(hop.op, values[0])
+            return rops.cumsum(values[0], stats=stats)
+        return rops.unary(hop.op, values[0], stats=stats)
     if isinstance(hop, BinaryOp):
-        return rops.binary(hop.op, values[0], values[1])
+        return rops.binary(hop.op, values[0], values[1], stats=stats)
     if isinstance(hop, TernaryOp):
-        return rops.ternary(hop.op, values[0], values[1], values[2])
+        return rops.ternary(hop.op, values[0], values[1], values[2],
+                            stats=stats)
     if isinstance(hop, AggUnaryOp):
         return rops.agg_unary(
-            hop.agg_op.value, values[0], hop.direction.value
+            hop.agg_op.value, values[0], hop.direction.value, stats=stats
         )
     if isinstance(hop, AggBinaryOp):
-        return rops.matmult(values[0], values[1])
+        return rops.matmult(values[0], values[1], stats=stats)
     if isinstance(hop, ReorgOp):
-        return rops.transpose(values[0])
+        return rops.transpose(values[0], stats=stats)
     if isinstance(hop, IndexingOp):
-        return rops.rix(values[0], hop.rl, hop.ru, hop.cl, hop.cu)
+        return rops.rix(values[0], hop.rl, hop.ru, hop.cl, hop.cu,
+                        stats=stats)
     if isinstance(hop, NaryOp):
         result = values[0]
         func = rops.cbind if hop.op == "cbind" else rops.rbind
         for nxt in values[1:]:
-            result = func(result, nxt)
+            result = func(result, nxt, stats=stats)
         return result
     raise RuntimeExecError(f"no kernel for {hop.opcode()}")

@@ -54,6 +54,7 @@ from repro.config import CodegenConfig
 from repro.errors import RuntimeExecError
 from repro.hops.types import ExecType
 from repro.obs import trace as obs_trace
+from repro.runtime.compressed import CompressedMatrix
 from repro.runtime.matrix import MatrixBlock
 from repro.runtime.meta import RuntimeMetadata
 from repro.runtime.parallel import shared_budget
@@ -62,7 +63,7 @@ from repro.runtime.stats import RuntimeStats
 
 def _record_output(stats: RuntimeStats, result) -> None:
     stats.n_intermediates += 1
-    if isinstance(result, MatrixBlock):
+    if isinstance(result, (MatrixBlock, CompressedMatrix)):
         stats.bytes_written += result.size_bytes
 
 
@@ -80,9 +81,9 @@ def _moved_bytes(inputs: list, result) -> float:
     """Bytes an instruction touched: matrix inputs plus its output."""
     total = 0.0
     for value in inputs:
-        if isinstance(value, MatrixBlock):
+        if isinstance(value, (MatrixBlock, CompressedMatrix)):
             total += value.size_bytes
-    if isinstance(result, MatrixBlock):
+    if isinstance(result, (MatrixBlock, CompressedMatrix)):
         total += result.size_bytes
     return total
 
@@ -101,6 +102,19 @@ def execute_instruction(instr, inputs: list, config: CodegenConfig,
 
     hop = instr.hop
     if instr.opcode == "fused":
+        has_compressed = any(
+            isinstance(v, CompressedMatrix) for v in inputs
+        )
+        if has_compressed and not instr.fused_match.compressed_capable:
+            # Hand-coded patterns without a dictionary-direct variant
+            # run on blocks; the decompression is explicit and counted.
+            stats.n_decompressions += 1
+            inputs = [
+                v.decompress() if isinstance(v, CompressedMatrix) else v
+                for v in inputs
+            ]
+        elif has_compressed:
+            stats.n_compressed_ops += 1
         result = instr.fused_match.compute(inputs)
         stats.record_spoof("Fused")
         _record_output(stats, result)
@@ -133,7 +147,7 @@ def execute_instruction(instr, inputs: list, config: CodegenConfig,
             instr, inputs, input_keys, output_key
         )
     else:
-        result = _basic_kernel(hop, inputs)
+        result = _basic_kernel(hop, inputs, stats)
     _record_output(stats, result)
     return result
 

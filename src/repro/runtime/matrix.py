@@ -28,19 +28,55 @@ SPARSE_THRESHOLD = 0.4
 ArrayLike = Union[np.ndarray, sp.spmatrix, "MatrixBlock", list]
 
 
+def estimate_compressed_bytes(rows: int, cols: int, nnz: int,
+                              distinct: float) -> float:
+    """Estimated CLA size from shape, nnz, and distinct values per column.
+
+    Mirrors :meth:`ColumnGroup.size_bytes`: every column stores a
+    dictionary of ``distinct`` 8B values plus either DDC codes (1/2/4B
+    per row by cardinality) or OLE offset lists (4B per non-zero cell);
+    the estimate takes the cheaper encoding, like the compressor does.
+    """
+    distinct = max(1.0, float(distinct))
+    code_bytes = 1.0 if distinct <= 256 else 2.0 if distinct <= 65536 else 4.0
+    dict_bytes = cols * distinct * 8.0
+    ddc = dict_bytes + rows * cols * code_bytes
+    ole = dict_bytes + max(nnz, 0) * 4.0
+    return min(ddc, ole)
+
+
 def recommend_format(rows: int, cols: int, nnz: int,
-                     threshold: float = SPARSE_THRESHOLD) -> str:
-    """The storage format policy: ``'sparse'`` (CSR) or ``'dense'``.
+                     threshold: float = SPARSE_THRESHOLD,
+                     distinct: float = -1.0,
+                     compress_ratio: float = 2.0) -> str:
+    """The storage format policy: ``'sparse'`` (CSR), ``'dense'``, or
+    ``'compressed'`` (CLA column groups).
 
     A matrix is stored sparse when its density ``nnz / cells`` falls
     below ``threshold`` (SystemML's 0.4 rule).  Unknown nnz (``< 0``)
     recommends dense — the conservative default the compiler assumes
     until runtime observation corrects it.  Empty shapes are dense.
+
+    ``distinct`` is the estimated number of distinct values per column;
+    when known (``>= 0``) and the estimated CLA size undercuts the
+    dense/CSR size by at least ``compress_ratio``, the policy recommends
+    ``'compressed'`` instead.  Unknown distinct counts (the default)
+    never recommend compression, so callers without a distinct-value
+    observation keep the two-format behavior.
     """
     cells = rows * cols
     if cells == 0 or nnz < 0:
         return "dense"
-    return "sparse" if nnz / cells < threshold else "dense"
+    base = "sparse" if nnz / cells < threshold else "dense"
+    if distinct < 0:
+        return base
+    base_bytes = (
+        nnz * 12.0 + (rows + 1) * 4.0 if base == "sparse" else cells * 8.0
+    )
+    compressed = estimate_compressed_bytes(rows, cols, nnz, distinct)
+    if compressed * max(compress_ratio, 1.0) <= base_bytes:
+        return "compressed"
+    return base
 
 
 class MatrixBlock:

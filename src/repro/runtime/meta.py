@@ -19,6 +19,7 @@ free).
 from __future__ import annotations
 
 from repro.analysis import lockset
+from repro.runtime.compressed import CompressedMatrix
 from repro.runtime.matrix import MatrixBlock
 
 
@@ -53,6 +54,10 @@ class RuntimeMetadata:
         if isinstance(value, MatrixBlock):
             nnz = value.nnz if with_nnz else -1
             self._slots[slot] = ObservedMeta(value.rows, value.cols, nnz)
+        elif isinstance(value, CompressedMatrix):
+            # Compressed nnz is O(distinct values) via cached counts, so
+            # it is always observed eagerly.
+            self._slots[slot] = ObservedMeta(value.rows, value.cols, value.nnz)
 
     def get(self, slot: int) -> ObservedMeta | None:
         return self._slots.get(slot)
@@ -68,7 +73,7 @@ class RuntimeMetadata:
         if meta is not None and meta.nnz >= 0:
             return meta.nnz
         value = values[slot]
-        if not isinstance(value, MatrixBlock):
+        if not isinstance(value, (MatrixBlock, CompressedMatrix)):
             return -1
         nnz = value.nnz
         if meta is None:

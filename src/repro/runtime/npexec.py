@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.codegen.cplan import Access, OutType
+from repro.codegen.cplan import Access, OutType, compressed_cell_eligible
 from repro.codegen.template import TemplateType
 from repro.errors import RuntimeExecError
 from repro.runtime.compressed import CompressedMatrix
@@ -104,9 +104,12 @@ def kernel_supported(kernel, cplan, inputs) -> bool:
     main = inputs[cplan.main_index]
     if cplan.ttype in _CELL_TEMPLATES:
         if isinstance(main, CompressedMatrix):
-            from repro.runtime.skeletons import _compressed_cell_compatible
-
-            return not _compressed_cell_compatible(cplan, inputs)
+            if compressed_cell_eligible(cplan):
+                # Dictionary-compatible plans run compiled only when the
+                # compressed-CELL variant was emitted; otherwise the
+                # interpreted distinct-value loop stays the oracle.
+                return kernel.comp_entry is not None
+            return True  # driver decompresses, then runs the cell kernel
         return isinstance(main, MatrixBlock)
     if cplan.ttype is TemplateType.ROW:
         if isinstance(main, CompressedMatrix):
@@ -158,12 +161,30 @@ def _execute_cell(operator, kernel, inputs, config):
     cplan = operator.cplan
     main, sides, scalars = _split_inputs(cplan, inputs)
     if isinstance(main, CompressedMatrix):
-        # Dictionary-compatible plans were routed interpreted by
-        # kernel_supported; everything else runs on the dense values.
+        if kernel.comp_entry is not None and compressed_cell_eligible(cplan):
+            return _cell_compressed(operator, kernel, main, scalars)
+        # No dictionary-direct variant: run on the dense values.
         main = main.decompress()
     if main.is_sparse and cplan.sparse_safe:
         return _cell_sparse(operator, main, sides, scalars, config)
     return _cell_dense(operator, kernel, main, sides, scalars)
+
+
+def _cell_compressed(operator, kernel, main: CompressedMatrix, scalars):
+    """Dictionary-direct compiled execution (Figure 9, compiled tier).
+
+    Runs the compressed-CELL kernel variant over each column member's
+    distinct values with its counts; per-column contributions sum into
+    the per-root accumulators exactly like the interpreted
+    distinct-value loop in :mod:`repro.runtime.skeletons`.
+    """
+    cplan = operator.cplan
+    accs = np.zeros(max(1, len(cplan.roots)))
+    for values, counts in main.iter_distinct():
+        accs += np.atleast_1d(kernel.comp_entry(values, counts, [], scalars))
+    if cplan.out_type is OutType.FULL_AGG:
+        return float(accs[0])
+    return MatrixBlock(accs.reshape(-1, 1))
 
 
 def _cell_dense(operator, kernel, main: MatrixBlock, sides, scalars):

@@ -11,6 +11,14 @@ sparse-sparse and sparse-dense element-wise, aggregation, reorg, and
 indexing paths keep CSR inputs CSR whenever the output stays sparse —
 and every matrix result leaves through :func:`_output`, which applies
 the shared :func:`~repro.runtime.matrix.recommend_format` policy.
+
+COMPRESSED is the third input format: cell-wise ops and scalar ops
+transform the per-group dictionaries only, aggregations combine
+dictionary values with counts, and matrix-vector multiplies
+pre-aggregate per group.  Compressed results leave through
+:func:`_output_compressed` (the stay-compressed policy point); ops
+without a dictionary-direct form decompress explicitly through
+:func:`_decompress`, which counts ``n_decompressions``.
 """
 
 from __future__ import annotations
@@ -22,9 +30,10 @@ import scipy.sparse as sp
 import scipy.special
 
 from repro.errors import RuntimeExecError, ShapeError
+from repro.runtime.compressed import CompressedMatrix, transform_dictionaries
 from repro.runtime.matrix import MatrixBlock
 
-Value = Union[MatrixBlock, float]
+Value = Union[MatrixBlock, CompressedMatrix, float]
 
 # Unary cell functions f(0) == 0; safe to apply to non-zeros only.
 SPARSE_SAFE_UNARY = {
@@ -97,8 +106,39 @@ def _output(result) -> MatrixBlock:
     return MatrixBlock(result).examine_representation()
 
 
+def _output_compressed(comp: CompressedMatrix, stats=None):
+    """Single exit point for compressed results: the stay-compressed
+    policy.
+
+    A dictionary-direct result stays compressed while it is still
+    smaller than its dense form (dictionary transforms preserve the
+    layout byte-for-byte, so chained cell pipelines never decompress);
+    a result that no longer pays for its encoding leaves as a regular
+    block under the shared format policy, counted as a decompression.
+    """
+    if comp.size_bytes <= comp.rows * comp.cols * 8.0:
+        return comp
+    if stats is not None:
+        stats.n_decompressions += 1
+    return comp.decompress().examine_representation()
+
+
+def _decompress(value: Value, stats=None) -> Value:
+    """Explicit decompression point for ops without a compressed form."""
+    if isinstance(value, CompressedMatrix):
+        if stats is not None:
+            stats.n_decompressions += 1
+        return value.decompress()
+    return value
+
+
+def _count_compressed_op(stats) -> None:
+    if stats is not None:
+        stats.n_compressed_ops += 1
+
+
 def _is_scalar(value: Value) -> bool:
-    return not isinstance(value, MatrixBlock)
+    return not isinstance(value, (MatrixBlock, CompressedMatrix))
 
 
 def _broadcast_dense(arr: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
@@ -111,13 +151,19 @@ def _broadcast_dense(arr: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
     raise ShapeError(f"cannot broadcast {arr.shape} to {shape}")
 
 
-def unary(op: str, x: Value) -> Value:
+def unary(op: str, x: Value, stats=None) -> Value:
     """Apply a cell-wise unary function."""
     func = _UNARY_FUNCS.get(op)
     if func is None:
         raise RuntimeExecError(f"unknown unary op '{op}'")
     if _is_scalar(x):
         return float(func(np.float64(x)))
+    if isinstance(x, CompressedMatrix):
+        # Dictionary-only transform: exact for every cell function
+        # because even OLE's implicit tuple has a dictionary entry.
+        _count_compressed_op(stats)
+        transform = lambda d: np.asarray(func(d), dtype=np.float64)
+        return _output_compressed(transform_dictionaries(x, transform), stats)
     if x.is_sparse and op in SPARSE_SAFE_UNARY:
         csr = x.to_csr().copy()
         csr.data = func(csr.data)
@@ -126,24 +172,47 @@ def unary(op: str, x: Value) -> Value:
     return _output(out)
 
 
-def cumsum(x: Value, axis: int = 0) -> Value:
+def cumsum(x: Value, axis: int = 0, stats=None) -> Value:
     """Column-wise cumulative sum (SystemML ``cumsum``)."""
     if _is_scalar(x):
         return float(x)
+    x = _decompress(x, stats)  # positional, no dictionary-direct form
     out = np.cumsum(x.to_dense(), axis=axis)
     return MatrixBlock(out)
 
 
-def binary(op: str, a: Value, b: Value) -> Value:
+def binary(op: str, a: Value, b: Value, stats=None) -> Value:
     """Apply a cell-wise binary function with R-style broadcasting."""
     func = _BINARY_FUNCS.get(op)
     if func is None:
         raise RuntimeExecError(f"unknown binary op '{op}'")
+    if isinstance(a, CompressedMatrix) or isinstance(b, CompressedMatrix):
+        return _binary_compressed(op, func, a, b, stats)
     if _is_scalar(a) and _is_scalar(b):
         return float(func(np.float64(a), np.float64(b)))
     if _is_scalar(a) or _is_scalar(b):
         return _binary_matrix_scalar(op, func, a, b)
     return _binary_matrix_matrix(op, func, a, b)
+
+
+def _binary_compressed(op, func, a: Value, b: Value, stats=None) -> Value:
+    """Compressed element-wise dispatch.
+
+    Matrix (+) scalar transforms the dictionaries only — the exact CLA
+    fast path, valid for every binary function because the implicit OLE
+    tuple is represented in the dictionary.  Matrix (+) matrix has no
+    dictionary form (row alignment breaks the distinct-value grouping),
+    so compressed operands decompress explicitly.
+    """
+    comp, other = (a, b) if isinstance(a, CompressedMatrix) else (b, a)
+    if _is_scalar(other):
+        scalar = np.float64(other)
+        swapped = comp is b
+        apply_ = (lambda d: func(scalar, d)) if swapped else (lambda d: func(d, scalar))
+        _count_compressed_op(stats)
+        transform = lambda d: np.asarray(apply_(d), dtype=np.float64)
+        return _output_compressed(transform_dictionaries(comp, transform), stats)
+    return binary(op, _decompress(a, stats), _decompress(b, stats), stats)
 
 
 def _binary_matrix_scalar(op, func, a: Value, b: Value) -> MatrixBlock:
@@ -206,15 +275,16 @@ def _binary_out_shape(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]
     return (rows, cols)
 
 
-def ternary(op: str, a: Value, b: Value, c: Value) -> Value:
+def ternary(op: str, a: Value, b: Value, c: Value, stats=None) -> Value:
     """Ternary cell ops: '+*' (a + b*c), '-*' (a - b*c), 'ifelse'."""
     if op == "+*":
-        return binary("+", a, binary("*", b, c))
+        return binary("+", a, binary("*", b, c, stats), stats)
     if op == "-*":
-        return binary("-", a, binary("*", b, c))
+        return binary("-", a, binary("*", b, c, stats), stats)
     if op == "ifelse":
         if _is_scalar(a) and _is_scalar(b) and _is_scalar(c):
             return float(b) if a != 0 else float(c)
+        a, b, c = (_decompress(v, stats) for v in (a, b, c))
         shapes = [v.shape for v in (a, b, c) if isinstance(v, MatrixBlock)]
         out_shape = shapes[0]
         for shape in shapes[1:]:
@@ -230,7 +300,7 @@ def ternary(op: str, a: Value, b: Value, c: Value) -> Value:
     raise RuntimeExecError(f"unknown ternary op '{op}'")
 
 
-def agg_unary(op: str, x: Value, direction: str = "full") -> Value:
+def agg_unary(op: str, x: Value, direction: str = "full", stats=None) -> Value:
     """Aggregations: sum/sumsq/min/max/mean over full/row/col direction.
 
     Row direction aggregates within each row (output n x 1), col within
@@ -239,6 +309,12 @@ def agg_unary(op: str, x: Value, direction: str = "full") -> Value:
     if _is_scalar(x):
         value = float(x)
         return value * value if op == "sumsq" else value
+    if isinstance(x, CompressedMatrix):
+        result = _agg_compressed(op, x, direction)
+        if result is not None:
+            _count_compressed_op(stats)
+            return result
+        x = _decompress(x, stats)
     axis = {"full": None, "row": 1, "col": 0}[direction]
     if x.is_sparse and op in {"min", "max"}:
         # scipy accounts for implicit zeros, so CSR inputs reduce
@@ -279,10 +355,54 @@ def agg_unary(op: str, x: Value, direction: str = "full") -> Value:
     return MatrixBlock(out.reshape(-1, 1) if axis == 1 else out.reshape(1, -1))
 
 
-def matmult(a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
+def _agg_compressed(op: str, x: CompressedMatrix, direction: str):
+    """Dictionary-direct aggregations, or None for the decompress path.
+
+    Sum-like aggregates are count-weighted dictionary reductions;
+    full/col min and max read dictionaries alone (every tuple occurs at
+    least once by construction).  Row-wise min/max would need row
+    alignment across groups, so they fall back.
+    """
+    cells = x.rows * x.cols
+    if direction == "full":
+        if op == "sum":
+            return x.sum()
+        if op == "sumsq":
+            return x.sum_sq()
+        if op == "mean":
+            return x.sum() / max(cells, 1)
+        if op in ("min", "max"):
+            reducer = np.min if op == "min" else np.max
+            return float(reducer([reducer(g.dictionary) for g in x.groups]))
+    elif direction == "col":
+        if op == "sum":
+            return x.col_sums()
+        if op == "sumsq":
+            return x.col_sums_sq()
+        if op == "mean":
+            return MatrixBlock(x.col_sums().to_dense() / max(x.rows, 1))
+        if op in ("min", "max"):
+            return x.col_reduce(np.min if op == "min" else np.max)
+    elif direction == "row":
+        if op == "sum":
+            return x.row_sums()
+        if op == "mean":
+            return MatrixBlock(x.row_sums().to_dense() / max(x.cols, 1))
+    return None
+
+
+def matmult(a: "MatrixBlock | CompressedMatrix",
+            b: "MatrixBlock | CompressedMatrix", stats=None) -> MatrixBlock:
     """Matrix multiplication with sparse dispatch."""
     if a.cols != b.rows:
         raise ShapeError(f"matmult shapes {a.shape} x {b.shape}")
+    if isinstance(a, CompressedMatrix) and isinstance(b, MatrixBlock) and b.cols == 1:
+        # X @ v pre-aggregates each group dictionary against v's slice
+        # and scatters by codes/offsets (the CLA cache-conscious path).
+        _count_compressed_op(stats)
+        return a.matvec(b.to_dense())
+    a = _decompress(a, stats)
+    b = _decompress(b, stats)
     if a.is_sparse and b.is_sparse:
         out = a.to_csr() @ b.to_csr()
         return _output(sp.csr_matrix(out))
@@ -295,17 +415,20 @@ def matmult(a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
     return _output(a.to_dense() @ b.to_dense())
 
 
-def transpose(x: Value) -> Value:
+def transpose(x: Value, stats=None) -> Value:
     """Matrix transpose."""
     if _is_scalar(x):
         return float(x)
+    x = _decompress(x, stats)  # reorg breaks column-group layout
     if x.is_sparse:
         return MatrixBlock(x.to_csr().T.tocsr())
     return MatrixBlock(np.ascontiguousarray(x.to_dense().T))
 
 
-def rix(x: MatrixBlock, rl: int, ru: int, cl: int, cu: int) -> MatrixBlock:
+def rix(x: MatrixBlock, rl: int, ru: int, cl: int, cu: int,
+        stats=None) -> MatrixBlock:
     """Right indexing X[rl:ru, cl:cu] (0-based, exclusive upper)."""
+    x = _decompress(x, stats)
     if not (0 <= rl <= ru <= x.rows and 0 <= cl <= cu <= x.cols):
         raise ShapeError(
             f"index [{rl}:{ru}, {cl}:{cu}] out of bounds for {x.shape}"
@@ -315,19 +438,21 @@ def rix(x: MatrixBlock, rl: int, ru: int, cl: int, cu: int) -> MatrixBlock:
     return MatrixBlock(np.ascontiguousarray(x.to_dense()[rl:ru, cl:cu]))
 
 
-def cbind(a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
+def cbind(a: MatrixBlock, b: MatrixBlock, stats=None) -> MatrixBlock:
     """Column concatenation."""
     if a.rows != b.rows:
         raise ShapeError(f"cbind rows {a.rows} != {b.rows}")
+    a, b = _decompress(a, stats), _decompress(b, stats)
     if a.is_sparse and b.is_sparse:
         return MatrixBlock(sp.hstack([a.to_csr(), b.to_csr()]).tocsr())
     return MatrixBlock(np.hstack([a.to_dense(), b.to_dense()]))
 
 
-def rbind(a: MatrixBlock, b: MatrixBlock) -> MatrixBlock:
+def rbind(a: MatrixBlock, b: MatrixBlock, stats=None) -> MatrixBlock:
     """Row concatenation."""
     if a.cols != b.cols:
         raise ShapeError(f"rbind cols {a.cols} != {b.cols}")
+    a, b = _decompress(a, stats), _decompress(b, stats)
     if a.is_sparse and b.is_sparse:
         return MatrixBlock(sp.vstack([a.to_csr(), b.to_csr()]).tocsr())
     return MatrixBlock(np.vstack([a.to_dense(), b.to_dense()]))

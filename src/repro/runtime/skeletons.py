@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.codegen.cplan import Access, CPlan, OutType
+from repro.codegen.cplan import Access, CPlan, OutType, compressed_cell_eligible
 from repro.codegen.template import TemplateType
 from repro.errors import RuntimeExecError
 from repro.obs import trace as obs_trace
@@ -147,6 +147,27 @@ def execute_operator(operator, inputs: list, config, stats=None,
     if stats is not None:
         stats.record_spoof(cplan.ttype.value)
     inputs = _consult_observed_sparsity(cplan, inputs, config, stats)
+    if stats is not None and isinstance(
+        inputs[cplan.main_index] if 0 <= cplan.main_index < len(inputs) else None,
+        CompressedMatrix,
+    ):
+        # Dictionary-compatible plans run over distinct values only;
+        # everything else decompresses inside the skeleton below.
+        if compressed_cell_eligible(cplan):
+            stats.n_compressed_ops += 1
+        else:
+            stats.n_decompressions += 1
+    # Side inputs are consumed through dense/CSR tile access in every
+    # skeleton (only the main input has a dictionary-direct path), so
+    # compressed sides decompress once here, explicitly and counted.
+    for idx, (spec, value) in enumerate(zip(cplan.inputs, inputs)):
+        if idx == cplan.main_index or spec.access is Access.SCALAR:
+            continue
+        if isinstance(value, CompressedMatrix):
+            if stats is not None:
+                stats.n_decompressions += 1
+            inputs = list(inputs)
+            inputs[idx] = value.decompress()
     # Tier resolution happens once, before partitioning, so every
     # intra-op partition of this execution runs the same backend and
     # the run counters count one execution each.
@@ -262,22 +283,11 @@ def _execute_serial(operator, inputs: list, config, kernel=None):
 def _compressed_cell_compatible(cplan: CPlan, inputs: list) -> bool:
     """Dictionary-only execution guard (Figure 9 conditions).
 
-    The single source of truth for both the serial cell skeleton and
-    the group-wise intra-op partitioner: sparse-safe, no side inputs,
-    sum-aggregated FULL/MULTI_AGG plans execute over distinct
-    dictionary values only.
+    Delegates to :func:`repro.codegen.cplan.compressed_cell_eligible`
+    — a static plan property shared with npgen's compressed-kernel
+    emission; ``inputs`` is kept for signature compatibility.
     """
-    n_sides = sum(
-        1 for idx, spec in enumerate(cplan.inputs)
-        if idx != cplan.main_index and spec.access is not Access.SCALAR
-    )
-    return (
-        cplan.ttype in (TemplateType.CELL, TemplateType.MAGG)
-        and cplan.sparse_safe
-        and n_sides == 0
-        and cplan.out_type in (OutType.FULL_AGG, OutType.MULTI_AGG)
-        and all(a == "sum" for a in cplan.agg_ops)
-    )
+    return compressed_cell_eligible(cplan)
 
 
 def _plan_intra_op(cplan: CPlan, inputs: list, config):
@@ -352,8 +362,14 @@ def _plan_group_partitions(main: CompressedMatrix, inputs: list,
     bounds = partition_bounds(len(groups), n_parts)
     part_inputs = []
     for g0, g1 in bounds:
+        # Each view carries its column-share of the parent's
+        # uncompressed bytes, so per-view compression ratios (and any
+        # size-based accounting) stay proportional instead of every
+        # view claiming the full matrix.
+        share = sum(len(g.cols) for g in groups[g0:g1]) / max(main.cols, 1)
         view = CompressedMatrix(
-            main.rows, main.cols, groups[g0:g1], main.uncompressed_bytes
+            main.rows, main.cols, groups[g0:g1],
+            main.uncompressed_bytes * share,
         )
         values = list(inputs)
         values[main_index] = view

@@ -103,6 +103,11 @@ class RuntimeStats:
     n_kernel_failures: int = 0  # kernel compiles that failed (operator pinned interpreted)
     n_source_cache_hits: int = 0  # exec() compiles skipped via the source-hash cache
 
+    # Compressed (CLA) execution format.
+    n_compressed_ops: int = 0  # ops executed dictionary-direct
+    n_decompressions: int = 0  # compressed inputs expanded to blocks
+    n_compressions: int = 0  # blocks converted to compressed form
+
     # Static analysis (repro.analysis): verifier, lint, lockset.
     n_verified_programs: int = 0  # compiles that passed pipeline verification
     n_verifier_findings: int = 0  # IR-verifier findings raised
@@ -281,6 +286,14 @@ class RuntimeStats:
             "n_kernel_failures": self.n_kernel_failures,
             "n_source_cache_hits": self.n_source_cache_hits,
             "compiled_run_fraction": self.n_compiled_runs / max(runs, 1),
+        }
+
+    def compressed_summary(self) -> dict:
+        """Compressed-format counters (bench/doc observability)."""
+        return {
+            "n_compressed_ops": self.n_compressed_ops,
+            "n_decompressions": self.n_decompressions,
+            "n_compressions": self.n_compressions,
         }
 
     def record_divergence(self, ratio: float) -> None:

@@ -211,3 +211,72 @@ def test_execution_strategies_agree_on_random_dags(dag):
             assert engine.stats.n_verifier_findings == 0
             assert engine.stats.n_lint_rejects == 0
             assert engine.stats.n_verified_programs > 0
+
+
+def _quantize_and_compress(leaves, seed):
+    """Per-leaf compressed variants covering all encodings.
+
+    Rotates DDC (few distinct dense values), OLE-with-implicit-zero
+    (zero-dominated), and co-coded groups; returns the quantized blocks
+    (the oracle inputs) alongside their compressed twins.
+    """
+    from repro.runtime.compressed import compress
+
+    rng = np.random.default_rng(seed)
+    quantized, compressed = [], []
+    for i, block in enumerate(leaves):
+        style = i % 3
+        if style == 0:
+            arr = np.round(block.to_dense() * 2.0)
+            comp = compress(MatrixBlock(arr), co_code=False)
+        elif style == 1:
+            dense = block.to_dense()
+            arr = np.where(np.abs(dense) > 0.8, np.round(dense * 2.0), 0.0)
+            comp = compress(MatrixBlock(arr), co_code=False)
+            assert any(g.encoding == "ole" for g in comp.groups)
+        else:
+            arr = rng.integers(0, 3, (ROWS, COLS)).astype(np.float64)
+            comp = compress(MatrixBlock(arr), co_code=True)
+        quantized.append(MatrixBlock(arr))
+        compressed.append(comp)
+    return quantized, compressed
+
+
+def _to_array(value):
+    from repro.runtime.compressed import CompressedMatrix
+
+    if isinstance(value, CompressedMatrix):
+        return value.decompress().to_dense()
+    return as_array(value)
+
+
+@given(expression_dags())
+@settings(max_examples=15, deadline=None)
+def test_compressed_inputs_match_decompressed_oracle(dag):
+    """Compressed leg of the differential harness: random DAGs over
+    DDC / OLE-implicit / co-coded inputs vs the decompressed oracle."""
+    leaves, col_vec, row_vec, op_script, finishers, seed = dag
+    quantized, compressed = _quantize_and_compress(leaves, seed)
+
+    reference = [
+        _to_array(v)
+        for v in api.eval_all(
+            _build(quantized, col_vec, row_vec, op_script, finishers, seed),
+            engine=Engine(mode="base"),
+        )
+    ]
+    for mode in ["base", "fused", "gen"]:
+        results = [
+            _to_array(v)
+            for v in api.eval_all(
+                _build(compressed, col_vec, row_vec, op_script, finishers,
+                       seed),
+                engine=Engine(mode=mode),
+            )
+        ]
+        assert len(results) == len(reference)
+        for idx, (expected, actual) in enumerate(zip(reference, results)):
+            np.testing.assert_allclose(
+                actual, expected, rtol=1e-7, atol=1e-9,
+                err_msg=f"mode={mode} output={idx}",
+            )

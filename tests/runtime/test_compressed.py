@@ -173,3 +173,117 @@ def test_compress_roundtrip_property(rows, cols, levels, seed):
     np.testing.assert_array_equal(comp.decompress().to_dense(), arr)
     assert np.isclose(comp.sum(), arr.sum())
     assert np.isclose(comp.sum_sq(), np.sum(arr * arr))
+
+
+def _implicit_zero_block(rows=240, cols=3, seed=21):
+    """Zero-dominated columns: compress() encodes them OLE with an
+    implicit (offset-less) zero tuple."""
+    rng = np.random.default_rng(seed)
+    arr = np.zeros((rows, cols))
+    for j in range(cols):
+        nz = rng.choice(rows, size=rows // 5, replace=False)
+        arr[nz, j] = rng.integers(1, 5, size=len(nz)).astype(np.float64)
+    return MatrixBlock(arr)
+
+
+class TestRowSumsOverImplicitZeroOLE:
+    """Regression: the seed's CLA ROW-sum iterated OLE offset lists
+    without the ``rows is None`` guard, crashing on any zero-dominated
+    column and dropping the implicit tuple's contribution."""
+
+    def test_row_sums_direct(self):
+        block = _implicit_zero_block()
+        comp = compress(block, co_code=False)
+        assert any(
+            g.encoding == "ole" and g.implicit_index >= 0 for g in comp.groups
+        )
+        np.testing.assert_allclose(
+            comp.row_sums().to_dense().ravel(), block.to_dense().sum(axis=1)
+        )
+
+    def test_row_sums_after_dictionary_shift(self):
+        """X + 1 moves the implicit tuple off zero; its base term must
+        reach every row, with explicit tuples contributing deltas."""
+        from repro.runtime.compressed import transform_dictionaries
+
+        block = _implicit_zero_block(seed=22)
+        comp = compress(block, co_code=False)
+        shifted = transform_dictionaries(comp, lambda d: d + 1.0)
+        np.testing.assert_allclose(
+            shifted.row_sums().to_dense().ravel(),
+            (block.to_dense() + 1.0).sum(axis=1),
+        )
+
+    def test_row_sums_through_engine(self):
+        """The original crash path: rowSums(X + 1) over compressed X."""
+        from repro import api
+        from repro.compiler.execution import Engine
+
+        block = _implicit_zero_block(seed=23)
+        comp = compress(block, co_code=False)
+        x = api.matrix(comp, name="X")
+        result = api.eval((x + 1.0).row_sums(), engine=Engine(mode="base"))
+        np.testing.assert_allclose(
+            result.to_dense().ravel(), (block.to_dense() + 1.0).sum(axis=1)
+        )
+
+
+class TestMultiColumnOLEGroup:
+    """Hardening: co-coded (multi-column) OLE groups must scatter whole
+    value tuples — not corrupt through element-wise fancy indexing."""
+
+    def _comp(self):
+        dictionary = np.array([[0.0, 0.0], [1.0, 2.0], [3.0, 4.0]])
+        offsets = [None, np.array([1, 3]), np.array([0])]
+        group = ColumnGroup((0, 1), "ole", dictionary, offsets=offsets,
+                            n_rows=5)
+        comp = CompressedMatrix(5, 2, [group], uncompressed_bytes=5 * 2 * 8.0)
+        expected = np.array(
+            [[3.0, 4.0], [1.0, 2.0], [0.0, 0.0], [1.0, 2.0], [0.0, 0.0]]
+        )
+        return comp, expected
+
+    def test_counts_include_implicit(self):
+        comp, _ = self._comp()
+        np.testing.assert_array_equal(
+            comp.groups[0].counts(), np.array([2.0, 2.0, 1.0])
+        )
+
+    def test_decompress(self):
+        comp, expected = self._comp()
+        np.testing.assert_array_equal(comp.decompress().to_dense(), expected)
+
+    def test_matvec(self):
+        comp, expected = self._comp()
+        v = np.array([0.5, 2.0])
+        np.testing.assert_allclose(
+            comp.matvec(v).to_dense().ravel(), expected @ v
+        )
+
+    def test_row_sums(self):
+        comp, expected = self._comp()
+        np.testing.assert_allclose(
+            comp.row_sums().to_dense().ravel(), expected.sum(axis=1)
+        )
+
+
+class TestPartitionAccounting:
+    """Regression: per-group partition views used to claim the *full*
+    matrix's uncompressed bytes each, inflating per-view ratios."""
+
+    def test_views_share_parent_bytes(self):
+        from repro.runtime.skeletons import _plan_group_partitions
+
+        block = _categorical_block(rows=400, cols=8, levels=5, seed=30)
+        comp = compress(block, co_code=False)
+        parts = _plan_group_partitions(comp, [comp], 0, 4)
+        assert parts is not None and len(parts) >= 2
+        views = [values[0] for values in parts]
+        assert np.isclose(
+            sum(v.size_bytes for v in views), comp.size_bytes
+        )
+        assert np.isclose(
+            sum(v.uncompressed_bytes for v in views), comp.uncompressed_bytes
+        )
+        for view in views:
+            assert view.uncompressed_bytes < comp.uncompressed_bytes

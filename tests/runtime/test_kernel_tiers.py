@@ -105,12 +105,11 @@ def test_cell_grid_compiled_matches_interpreted(out_type, storage, backend):
     rtol = engine.config.kernel_compare_rtol
     for expected, actual in zip(oracle, compiled):
         np.testing.assert_allclose(actual, expected, rtol=rtol, atol=1e-12)
-    # Dictionary-compatible compressed plans stay on the (already
-    # vectorized) distinct-value loop; everything else must have
-    # actually run compiled.
+    # Every storage runs compiled now: dictionary-compatible compressed
+    # plans get the compressed-CELL kernel variant, other compressed
+    # plans decompress inside the kernel driver.
     summary = engine.stats.kernel_summary()
-    if storage != "compressed":
-        assert summary["n_compiled_runs"] >= 1
+    assert summary["n_compiled_runs"] >= 1
 
 
 @pytest.mark.parametrize("backend", BACKENDS[1:])
@@ -155,6 +154,51 @@ def test_outer_grid_compiled_matches_interpreted(out_type, storage, backend):
     compiled = _as_arrays(api.eval_all(build(), engine=engine))
     for expected, actual in zip(oracle, compiled):
         np.testing.assert_allclose(actual, expected, rtol=1e-8, atol=1e-11)
+
+
+@pytest.mark.parametrize("recipe", ["full_agg", "multi_agg"])
+def test_compressed_cell_kernel_runs_dictionary_direct(recipe):
+    """Parity for the compressed-CELL kernel variant: an eligible
+    (sparse-safe, side-free, sum-aggregated) plan over a compressed
+    main must run compiled over the dictionaries — no decompression."""
+    main = _main_block("compressed")
+
+    def build():
+        x = api.matrix(main, "X")
+        if recipe == "full_agg":
+            return [((x * x) * 2.0).sum()]
+        return [(x * x).sum(), ((x * x) * (x * 3.0)).sum()]
+
+    oracle = _as_arrays(api.eval_all(build(), engine=_engine("interpreted")))
+    engine = _engine("vectorized")
+    compiled = _as_arrays(api.eval_all(build(), engine=engine))
+    rtol = engine.config.kernel_compare_rtol
+    for expected, actual in zip(oracle, compiled):
+        np.testing.assert_allclose(actual, expected, rtol=rtol, atol=1e-12)
+    summary = engine.stats.kernel_summary()
+    assert summary["n_compiled_runs"] >= 1
+    compressed = engine.stats.compressed_summary()
+    assert compressed["n_compressed_ops"] >= 1
+    assert compressed["n_decompressions"] == 0
+
+
+def test_compressed_cell_kernel_source_emitted():
+    """Eligible plans carry a loop-free `genkernel_comp` variant."""
+    from repro.codegen.npgen import compile_kernel
+    from repro.codegen.cplan import compressed_cell_eligible
+    from repro.codegen.construct import construct_cplan
+    from tests.codegen.test_construct_pygen import _select_plan
+
+    x = api.matrix(np.ones((32, 8)), "X")
+    plan, plan_config = _select_plan([(x * x).sum()])
+    cplan = construct_cplan(plan, plan_config)[0]
+    assert compressed_cell_eligible(cplan)
+    kernel = compile_kernel(cplan, CodegenConfig())
+    assert kernel.comp_entry is not None
+    assert "genkernel_comp" in kernel.comp_source
+    values = np.array([0.0, 1.0, 3.0])
+    counts = np.array([5.0, 2.0, 1.0])
+    assert kernel.comp_entry(values, counts, [], []) == 11.0
 
 
 def test_elementwise_kernels_bit_identical():
