@@ -9,12 +9,17 @@ generated-operator bodies, kernel compiles, and the mid-run
 count and re-enters the pipeline.
 
 The script exports the span buffer as Chrome ``trace_event`` JSON
-(open ``trace_profile.json`` at https://ui.perfetto.dev — each thread
-is a flame lane, and the recompile splice nests inside its request)
-and prints the per-operator profile table.
+(open the exported file at https://ui.perfetto.dev — each thread is a
+flame lane, and the recompile splice nests inside its request) and
+prints the per-operator profile table.  The trace is written under a
+temporary directory unless ``--out`` names a destination.
 
-Run:  PYTHONPATH=src python examples/trace_profile.py
+Run:  PYTHONPATH=src python examples/trace_profile.py [--out PATH]
 """
+
+import argparse
+import os
+import tempfile
 
 import numpy as np
 
@@ -23,10 +28,21 @@ from repro.compiler.execution import Engine
 from repro.config import CodegenConfig
 from repro.runtime.matrix import MatrixBlock
 
-TRACE_PATH = "trace_profile.json"
+
+def _trace_path() -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(tempfile.mkdtemp(prefix="repro_trace_"),
+                             "trace_profile.json"),
+        help="destination for the Chrome trace JSON "
+             "(default: a fresh temp directory)",
+    )
+    return parser.parse_args().out
 
 
 def main():
+    trace_path = _trace_path()
     rng = np.random.default_rng(42)
     rows, cols, density = 2_000, 1_500, 0.01
     arr = np.zeros((rows, cols))
@@ -41,7 +57,7 @@ def main():
 
     print(f"recompiles triggered : {engine.stats.n_recompiles}")
     print(f"spans recorded       : {len(engine.tracer.events())}")
-    path = engine.export_trace(TRACE_PATH)
+    path = engine.export_trace(trace_path)
     print(f"trace exported       : {path} "
           "(open at https://ui.perfetto.dev)\n")
 

@@ -193,6 +193,29 @@ class CodegenConfig:
     plan_cache_enabled: bool = True
     inline_primitives: bool = False  # Fig 10: inline vs shared primitives
 
+    # Distributed backend implementation behind SparkExecutor:
+    # 'simulated' partitions and reduces in-process (cost model only);
+    # 'multiprocess' ships partition tasks to a pool of spawned worker
+    # processes (repro.runtime.mpexec) with shared-memory dense block
+    # transport — same placement, partitioning, and tree-reduce
+    # topology, so results are bit-identical to the simulated backend.
+    distributed_backend: str = "simulated"
+    # Worker processes for the multiprocess backend (0 = min(4, cpus)).
+    # Concurrent dispatch is additionally bounded by the process-wide
+    # ThreadBudget, so driver threads + worker processes stay within
+    # one shared token pool.
+    mp_workers: int = 0
+    # Straggler/failure handling: a worker that produces no result for
+    # this many seconds while holding tasks is declared lost, its
+    # process is respawned, and its tasks are re-dispatched (lost
+    # cached blocks are recomputed from lineage keys).
+    mp_task_timeout: float = 60.0
+    # Re-dispatch attempts per task before the run fails.
+    mp_max_retries: int = 2
+    # Per-worker block cache (locality) byte budget; least recently
+    # used blocks are evicted and re-shipped on next use.
+    mp_worker_cache_bytes: float = 256e6
+
     # Simulated cluster; None means pure single-node operation.
     cluster: ClusterConfig | None = None
 

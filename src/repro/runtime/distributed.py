@@ -135,6 +135,16 @@ class SparkExecutor:
         self.cluster = cluster
         self.config = config
         self.stats = stats
+        # Real-parallelism backend (config.distributed_backend):
+        # "multiprocess" routes the per-partition loops below through a
+        # pool of spawned worker processes; placement, partitioning,
+        # slicing, cost charging, and tree-reduces stay here, so both
+        # backends produce bit-identical results.
+        self.backend = None
+        if config.distributed_backend == "multiprocess":
+            from repro.runtime.mpexec import ProcessPoolBackend
+
+            self.backend = ProcessPoolBackend(config, stats)
         # RDD-cache model: distributed datasets stay in aggregate
         # executor memory after the first read/write, so re-reads cost
         # memory bandwidth, not distributed-IO bandwidth.  Entries are
@@ -217,6 +227,8 @@ class SparkExecutor:
             if dead:
                 del self._cache[key]
                 self._cached_bytes -= size
+        if self.backend is not None:
+            self.backend.prune(live_epoch)
 
     # ------------------------------------------------------------------
     # Cost charging
@@ -282,7 +294,13 @@ class SparkExecutor:
             return value
         self.charge_read(value.size_bytes, key=key, value=value)
         self.stats.n_partitioned += 1
-        return BlockedMatrix.partition(value, self.n_partitions)
+        blocked = BlockedMatrix.partition(value, self.n_partitions)
+        if key is not None:
+            # Lineage key for the multiprocess backend's locality map.
+            blocked.mp_key = key
+            if self.backend is not None:
+                self.backend.register_guard(key, value)
+        return blocked
 
     # ------------------------------------------------------------------
     # Operator execution
@@ -329,17 +347,32 @@ class SparkExecutor:
                                        output_key)
 
         main_blocked = self._as_blocked(main_val, keys[main_idx])
-        part_inputs = self._prepare_partition_inputs(
+        plans = self._partition_plans(
             hop, input_values, main_idx, main_blocked
         )
 
         if placement is _REDUCE:
-            return self._execute_reduce(hop, main_blocked, part_inputs)
+            return self._execute_reduce(hop, main_blocked, plans,
+                                        keys[main_idx])
 
-        parts = [_basic_kernel(hop, values) for values in part_inputs]
-        return BlockedMatrix(
+        if self.backend is not None:
+            from repro.runtime.mpexec import hop_task_spec
+
+            parts = self.backend.run_map(
+                hop_task_spec(hop), main_blocked, plans,
+                keys[main_idx], output_key
+            )
+        else:
+            parts = [
+                _basic_kernel(hop, values)
+                for values in _materialize_plans(plans, main_blocked)
+            ]
+        result = BlockedMatrix(
             parts, main_blocked.rows, parts[0].cols, main_blocked.bounds
         )
+        if self.backend is not None and output_key is not None:
+            result.mp_key = output_key
+        return result
 
     # -- placement -----------------------------------------------------
     def _placement(self, hop: Hop, values: list, main_idx: int) -> str:
@@ -370,6 +403,14 @@ class SparkExecutor:
                                   main_idx: int,
                                   main_blocked: BlockedMatrix) -> list[list]:
         """Per-partition input lists; charges side-input traffic once."""
+        plans = self._partition_plans(hop, values, main_idx, main_blocked)
+        return _materialize_plans(plans, main_blocked)
+
+    def _partition_plans(self, hop: Hop, values: list, main_idx: int,
+                         main_blocked: BlockedMatrix) -> list:
+        """Classify each input (main / zip / slice / whole broadcast)
+        and charge side-input traffic once; both backends materialize
+        per-partition inputs from the same plans."""
         cellwise = hop.kind in (OpKind.UNARY, OpKind.BINARY, OpKind.TERNARY)
         plans: list = []  # ('main',) | ('zip', bm) | ('slice', mb) | ('whole', v)
         for idx, value in enumerate(values):
@@ -395,21 +436,7 @@ class SparkExecutor:
                 plans.append(("slice", value))
             else:
                 plans.append(("whole", value))
-
-        part_inputs: list[list] = []
-        for p, (r0, r1) in enumerate(main_blocked.bounds):
-            part_values = []
-            for mode, value in plans:
-                if mode == "main":
-                    part_values.append(main_blocked.blocks[p])
-                elif mode == "zip":
-                    part_values.append(value.blocks[p])
-                elif mode == "slice":
-                    part_values.append(rops.rix(value, r0, r1, 0, value.cols))
-                else:
-                    part_values.append(value)
-            part_inputs.append(part_values)
-        return part_inputs
+        return plans
 
     # -- execution strategies ------------------------------------------
     def _execute_local(self, hop: Hop, values: list, keys: list,
@@ -435,17 +462,23 @@ class SparkExecutor:
         return result
 
     def _execute_reduce(self, hop: Hop, main_blocked: BlockedMatrix,
-                        part_inputs: list[list]) -> object:
+                        plans: list, main_key=None) -> object:
         """Full/column aggregations: per-partition partials combined by
         a tree-reduce (mean decomposes into a sum of partials)."""
         agg = hop.agg_op.value
         direction = hop.direction.value
         base_op = "sum" if agg == "mean" else agg
         combine_op = "sum" if base_op in ("sum", "sumsq") else base_op
-        partials = [
-            rops.agg_unary(base_op, values[0], direction)
-            for values in part_inputs
-        ]
+        if self.backend is not None:
+            partials = self.backend.run_map(
+                ("agg_unary", base_op, direction), main_blocked, plans,
+                main_key, None
+            )
+        else:
+            partials = [
+                rops.agg_unary(base_op, values[0], direction)
+                for values in _materialize_plans(plans, main_blocked)
+            ]
         result, levels = tree_reduce(
             partials, lambda a, b: _combine_partials(a, b, combine_op)
         )
@@ -515,32 +548,74 @@ class SparkExecutor:
         )
         sliceable = sliceable_spoof_inputs(cplan, values, main_blocked.rows)
         self.stats.record_spoof(cplan.ttype.value)
-        partials = []
-        for p, (r0, r1) in enumerate(main_blocked.bounds):
-            part_values = []
-            for idx, value in enumerate(values):
-                if idx == main_index:
-                    part_values.append(main_blocked.blocks[p])
-                elif idx in sliceable:
-                    part_values.append(rops.rix(value, r0, r1, 0, value.cols))
-                else:
-                    part_values.append(value)
-            partials.append(
-                execute_operator(hop.operator, part_values, self.config,
-                                 allow_parallel=False)
-            )
+        row_partitioned = is_row_partitioned_output(cplan.out_type)
+        if self.backend is not None:
+            from repro.runtime import npexec
 
-        if is_row_partitioned_output(cplan.out_type):
+            # Resolve the kernel tier on the driver — one hotness bump
+            # per partition, exactly like the simulated loop — and ship
+            # the decision so workers execute the same tier.
+            use_kernel = [
+                npexec.resolve_kernel(hop.operator, self.config) is not None
+                for _ in main_blocked.bounds
+            ]
+            partials = self.backend.run_spoof(
+                hop.operator, values, sliceable, main_index, main_blocked,
+                keys[main_index],
+                output_key if row_partitioned else None, use_kernel
+            )
+        else:
+            partials = []
+            for p, (r0, r1) in enumerate(main_blocked.bounds):
+                part_values = []
+                for idx, value in enumerate(values):
+                    if idx == main_index:
+                        part_values.append(main_blocked.blocks[p])
+                    elif idx in sliceable:
+                        part_values.append(
+                            rops.rix(value, r0, r1, 0, value.cols)
+                        )
+                    else:
+                        part_values.append(value)
+                partials.append(
+                    execute_operator(hop.operator, part_values, self.config,
+                                     allow_parallel=False)
+                )
+
+        if row_partitioned:
             blocks = [
                 p if isinstance(p, MatrixBlock) else MatrixBlock(p)
                 for p in partials
             ]
-            return BlockedMatrix(
+            result = BlockedMatrix(
                 blocks, main_blocked.rows, blocks[0].cols, main_blocked.bounds
             )
+            if self.backend is not None and output_key is not None:
+                result.mp_key = output_key
+            return result
         result, levels = reduce_spoof_partials(cplan, partials, tree_reduce)
         self.charge_tree_reduce(_value_bytes(partials[0]), levels)
         return result
+
+
+def _materialize_plans(plans: list, main_blocked: BlockedMatrix) -> list[list]:
+    """Expand partition plans into per-partition input value lists (the
+    simulated in-process path; the multiprocess backend consumes the
+    plans directly and ships blocks/slices/broadcasts instead)."""
+    part_inputs: list[list] = []
+    for p, (r0, r1) in enumerate(main_blocked.bounds):
+        part_values = []
+        for mode, value in plans:
+            if mode == "main":
+                part_values.append(main_blocked.blocks[p])
+            elif mode == "zip":
+                part_values.append(value.blocks[p])
+            elif mode == "slice":
+                part_values.append(rops.rix(value, r0, r1, 0, value.cols))
+            else:
+                part_values.append(value)
+        part_inputs.append(part_values)
+    return part_inputs
 
 
 def _rows_of(value) -> int:

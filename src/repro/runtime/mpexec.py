@@ -1,0 +1,1195 @@
+"""Real multiprocess backend for the distributed path.
+
+The simulated :class:`~repro.runtime.distributed.SparkExecutor`
+partitions and reduces in-process, so every "distributed" plan still
+serializes behind one GIL.  This module supplies the alternative
+selected by ``CodegenConfig.distributed_backend = "multiprocess"``: a
+:class:`ProcessPoolBackend` that ships the same per-partition tasks to
+a pool of *spawned* worker processes.
+
+Design invariants (what makes the two backends bit-identical):
+
+* Placement, partitioning (``partition_bounds``), side-input slicing
+  (driver-side ``rops.rix``), and the fixed tree-reduce topology all
+  stay on the driver; workers only run the per-partition kernel the
+  simulated loop would have run, with ``allow_parallel=False``.
+* The kernel tier is resolved on the driver (one ``resolve_kernel``
+  call per partition, exactly like the simulated loop) and shipped as
+  a boolean; workers rebuild generated operators from the shipped
+  ``(name, source, cplan)`` and *assert* that regenerating the source
+  from the cplan reproduces it byte-for-byte (the deterministic
+  ``TMP_<hash10>`` naming makes this checkable), so the worker executes
+  the same code the driver compiled.
+
+Transport: dense blocks move zero-copy through
+``multiprocessing.shared_memory`` (driver creates + copies once,
+workers attach a read-only ndarray view, the driver unlinks after the
+operator completes — on Linux existing mappings stay valid); CSR
+blocks, ``CompressedMatrix`` values, and scalars take the pickle
+fallback.  Side inputs are encoded once per operator and broadcast to
+every participating worker; the driver's existing broadcast-pressure
+accounting has already charged them before this module is reached.
+
+Failure model: a worker that dies or produces no result for
+``mp_task_timeout`` seconds is replaced (``n_worker_respawns``) and
+its tasks are re-dispatched (``n_task_retries``).  Because every task
+spec is retained keyed by the lineage key of the block it produces,
+a lost block is recomputed from its lineage (``n_lineage_recomputes``)
+instead of re-running the program; driver-held inputs are simply
+re-shipped.  Worker-side *exceptions* are deterministic and are raised
+to the caller without retry.
+
+Worker counts coordinate with the process-wide ThreadBudget: each
+operator acquires up to ``mp_workers`` tokens before dispatching, so
+driver threads plus worker processes stay within one shared pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import threading
+import time
+import weakref
+from collections import OrderedDict, deque
+from dataclasses import fields as dataclass_fields
+from dataclasses import replace as dataclass_replace
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context
+from multiprocessing import shared_memory as mp_shm
+
+import numpy as np
+
+from repro.errors import RuntimeExecError
+from repro.runtime.matrix import MatrixBlock
+
+#: Satellite guard: fork would duplicate held locks (stats RLock, plan
+#: cache, thread budget) into children — spawn starts workers clean.
+_SPAWN = get_context("spawn")
+
+#: Dense blocks below this ship via pickle: segment setup dominates.
+_SHM_MIN_BYTES = 1 << 14
+
+#: In-flight tasks per worker: keeps pipes shallow (no send/send
+#: deadlock) while hiding one task of dispatch latency.
+_MAX_INFLIGHT = 2
+
+#: Globally monotonic task ids so results from an aborted operator can
+#: never be matched against a later one.
+_TASK_IDS = itertools.count(1)
+
+
+def start_method() -> str:
+    """Start method used for worker processes (always ``spawn``)."""
+    return _SPAWN.get_start_method()
+
+
+# ----------------------------------------------------------------------
+# Transport: encode on the driver, decode in the worker
+# ----------------------------------------------------------------------
+def _approx_bytes(value) -> float:
+    size = getattr(value, "size_bytes", None)
+    return float(size) if size is not None else 8.0
+
+
+def encode_value(value, segments: list | None = None,
+                 force_shm: bool = False):
+    """Encode one runtime value for shipment to a worker.
+
+    Dense :class:`MatrixBlock` payloads at or above ``_SHM_MIN_BYTES``
+    (or with ``force_shm``) move through a shared-memory segment; the
+    created segment is appended to ``segments`` so the driver can
+    unlink it once the operator completes.  Everything else — CSR
+    blocks, ``CompressedMatrix``, scalars — is shipped by value over
+    the pipe (the pickle fallback).  Returns
+    ``(descriptor, shm_bytes, pickle_bytes)``.
+    """
+    if isinstance(value, MatrixBlock) and not value.is_sparse:
+        arr = value.to_dense()
+        if force_shm or arr.nbytes >= _SHM_MIN_BYTES:
+            seg = mp_shm.SharedMemory(create=True, size=max(1, arr.nbytes))
+            view = np.ndarray(arr.shape, dtype=np.float64, buffer=seg.buf)
+            view[:] = arr
+            if segments is not None:
+                segments.append(seg)
+            return ("shm", seg.name, arr.shape), float(arr.nbytes), 0.0
+    return ("raw", value), 0.0, _approx_bytes(value)
+
+
+def _attach_shm(name: str) -> mp_shm.SharedMemory:
+    """Attach to a driver-created segment without registering it with
+    the resource tracker (the driver owns unlinking; a second
+    registration collapses in the tracker's name set, so the paired
+    driver/worker unregisters would double-remove and spam KeyErrors)."""
+    try:
+        return mp_shm.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        from multiprocessing import resource_tracker
+
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return mp_shm.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = orig_register
+
+
+def decode_value(desc):
+    """Decode one shipped value; returns ``(value, segment | None)``.
+
+    Shared-memory blocks come back as a read-only zero-copy view; the
+    returned segment object must stay referenced for as long as the
+    value is alive (cache entries hold the pair together).
+    """
+    if desc[0] == "shm":
+        _, name, shape = desc
+        seg = _attach_shm(name)
+        arr = np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+        arr.setflags(write=False)
+        return MatrixBlock(arr), seg
+    return desc[1], None
+
+
+# ----------------------------------------------------------------------
+# Task specs for basic hops (mirrors distributed._basic_kernel)
+# ----------------------------------------------------------------------
+def hop_task_spec(hop) -> tuple:
+    """Picklable kernel spec for the map-placed basic hops."""
+    from repro.hops.hop import (
+        AggBinaryOp,
+        AggUnaryOp,
+        BinaryOp,
+        TernaryOp,
+        UnaryOp,
+    )
+
+    if isinstance(hop, UnaryOp):
+        return ("unary", hop.op)
+    if isinstance(hop, BinaryOp):
+        return ("binary", hop.op)
+    if isinstance(hop, TernaryOp):
+        return ("ternary", hop.op)
+    if isinstance(hop, AggUnaryOp):
+        return ("agg_unary", hop.agg_op.value, hop.direction.value)
+    if isinstance(hop, AggBinaryOp):
+        return ("matmult",)
+    raise RuntimeExecError(f"no multiprocess spec for {hop.opcode()}")
+
+
+def _apply_spec(spec: tuple, values: list, stats):
+    """Run one hop kernel spec — the worker-side twin of the driver's
+    per-partition ``_basic_kernel`` dispatch (same rops entry points,
+    so results are bitwise identical)."""
+    from repro.runtime import ops as rops
+
+    op = spec[0]
+    if op == "unary":
+        return rops.unary(spec[1], values[0], stats=stats)
+    if op == "binary":
+        return rops.binary(spec[1], values[0], values[1], stats=stats)
+    if op == "ternary":
+        return rops.ternary(spec[1], values[0], values[1], values[2],
+                            stats=stats)
+    if op == "agg_unary":
+        return rops.agg_unary(spec[1], values[0], spec[2], stats=stats)
+    if op == "matmult":
+        return rops.matmult(values[0], values[1], stats=stats)
+    raise RuntimeExecError(f"unknown multiprocess kernel spec {spec!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+class _BlockCache:
+    """Per-worker LRU block cache (locality), bounded in bytes."""
+
+    def __init__(self, cap_bytes: float):
+        self.cap = cap_bytes
+        self.entries: OrderedDict = OrderedDict()  # wkey -> (value, seg, nbytes)
+        self.bytes = 0.0
+
+    def get(self, wkey):
+        entry = self.entries.get(wkey)
+        if entry is None:
+            return None
+        self.entries.move_to_end(wkey)
+        return entry[0]
+
+    def put(self, wkey, value, seg) -> list:
+        """Insert; returns the keys evicted to make room."""
+        if wkey in self.entries:
+            self.entries.move_to_end(wkey)
+            return []
+        nbytes = _approx_bytes(value)
+        evicted = []
+        while self.entries and self.bytes + nbytes > self.cap:
+            old_key, (_, old_seg, old_bytes) = self.entries.popitem(last=False)
+            self.bytes -= old_bytes
+            if old_seg is not None:
+                try:
+                    old_seg.close()
+                except BufferError:
+                    pass  # a live view still pins the mapping
+            evicted.append(old_key)
+        self.entries[wkey] = (value, seg, nbytes)
+        self.bytes += nbytes
+        return evicted
+
+    def prune(self, backend_id: int, live_epoch) -> None:
+        for wkey in list(self.entries):
+            bid, key, _p = wkey
+            if bid != backend_id or not (isinstance(key, tuple) and key):
+                continue
+            if key[0] == "v" and (live_epoch is None or key[1] < live_epoch):
+                _, seg, nbytes = self.entries.pop(wkey)
+                self.bytes -= nbytes
+                if seg is not None:
+                    try:
+                        seg.close()
+                    except BufferError:
+                        pass
+
+
+def _materialize_operator(operators: dict, name: str, stats):
+    """Rebuild a generated operator from its shipped payload.
+
+    Asserts the fork-safety contract: regenerating the source from the
+    shipped cplan must reproduce the driver's source byte-for-byte
+    (deterministic ``TMP_<hash10>`` naming), so the source-hash compile
+    cache and the driver/worker execution paths can never diverge.
+    """
+    entry = operators[name]
+    if not isinstance(entry, tuple):
+        return entry
+    source, cplan, inline = entry
+    from repro.codegen import plan_cache, pygen
+
+    regen_name, regen_source = pygen.generate_source(cplan, inline)
+    if regen_name != name or regen_source != source:
+        raise RuntimeExecError(
+            f"worker regeneration of operator {name} diverged from the "
+            "driver's source — generated code is not deterministic"
+        )
+    genexec = plan_cache.compile_operator(name, source, backend="exec",
+                                          stats=stats)
+    operator = pygen.GeneratedOperator(name=name, cplan=cplan,
+                                       source=source, genexec=genexec)
+    operators[name] = operator
+    return operator
+
+
+def _export_stats(stats):
+    """Nonzero counter fields (plus metric cells) as plain picklables."""
+    counters = {}
+    for spec in dataclass_fields(stats):
+        value = getattr(stats, spec.name)
+        if isinstance(value, dict):
+            if value:
+                counters[spec.name] = dict(value)
+        elif isinstance(value, (int, float)) and value:
+            counters[spec.name] = value
+    metrics = None
+    if stats._metrics is not None:
+        registry = stats._metrics
+        metrics = []
+        with registry._lock:
+            for (kind, name), metric in registry._metrics.items():
+                metrics.append((kind, name, dict(metric._cells)))
+    return counters, metrics
+
+
+def _run_task(task: dict, caches: dict, operators: dict,
+              broadcasts: dict):
+    """Execute one task; returns (result, stats, evicted, holds).
+
+    ``holds`` are the shared-memory segments of *inline* (uncached)
+    inputs — the caller closes them after the reply is sent so worker
+    file descriptors don't accumulate across tasks.
+    """
+    from repro.runtime.compressed import CompressedMatrix
+    from repro.runtime.stats import RuntimeStats
+
+    inject = task.get("inject")
+    if inject == "die":
+        import os
+
+        os._exit(13)
+    elif inject == "hang":
+        time.sleep(600.0)
+
+    stats = RuntimeStats()
+    cache = caches.get("blocks")
+    if cache is None or cache.cap != task["cache_bytes"]:
+        cache = caches["blocks"] = _BlockCache(task["cache_bytes"])
+    values = []
+    holds = []  # segments of inline values: alive for the task only
+    evicted: list = []
+    for desc in task["inputs"]:
+        tag = desc[0]
+        if tag == "value":
+            value, seg = decode_value(desc[1])
+            holds.append(seg)
+            values.append(value)
+        elif tag == "block":
+            _, wkey, payload = desc
+            if payload is None:
+                value = cache.get(wkey)
+                if value is None:
+                    return wkey, None, evicted, holds
+            else:
+                value, seg = decode_value(payload)
+                evicted.extend(cache.put(wkey, value, seg))
+            values.append(value)
+        else:  # ("bcast", bkey, i)
+            values.append(broadcasts[desc[1]][desc[2]][0])
+
+    kind = task["kind"]
+    if kind == "echo":
+        result = values
+    elif kind == "hop":
+        result = _apply_spec(task["spec"], values, stats)
+    else:  # "spoof"
+        operator = _materialize_operator(operators, task["op_name"], stats)
+        config = dataclass_replace(task["config"],
+                                   vectorized_kernels=task["use_kernel"],
+                                   kernel_hot_threshold=0)
+        from repro.runtime.skeletons import execute_operator
+
+        result = execute_operator(operator, values, config, stats,
+                                  allow_parallel=False)
+
+    cache_as = task.get("cache_as")
+    if cache_as is not None:
+        cached = result
+        if not isinstance(cached, (MatrixBlock, CompressedMatrix)):
+            if isinstance(cached, np.ndarray):
+                # Mirror the driver's BlockedMatrix wrapping so a later
+                # cache hit sees exactly what the driver would ship.
+                cached = MatrixBlock(cached)
+            else:
+                cached = None
+        if cached is not None:
+            evicted.extend(cache.put(cache_as, cached, None))
+    return result, stats, evicted, holds
+
+
+def _worker_main(conn, worker_id: int) -> None:
+    """Worker process main loop: decode, execute, reply — strictly in
+    message order (the driver relies on FIFO pipes for setup-before-
+    task ordering)."""
+    import os
+
+    os.environ.setdefault("OMP_NUM_THREADS", "1")
+    caches: dict = {}
+    operators: dict = {}
+    broadcasts: dict = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        tag = msg[0]
+        if tag == "stop":
+            break
+        if tag == "operator":
+            _, name, source, cplan, inline = msg
+            if name not in operators:
+                operators[name] = (source, cplan, inline)
+            continue
+        if tag == "bcast":
+            _, bkey, descs = msg
+            broadcasts[bkey] = [decode_value(d) for d in descs]
+            continue
+        if tag == "free":
+            for bkey in msg[1]:
+                broadcasts.pop(bkey, None)
+            continue
+        if tag == "prune":
+            _, backend_id, live_epoch = msg
+            cache = caches.get("blocks")
+            if cache is not None:
+                cache.prune(backend_id, live_epoch)
+            continue
+        if tag != "task":
+            continue
+        task = msg[1]
+        task_id = task["id"]
+        holds: list = []
+        try:
+            wall_start = time.time()
+            t0 = time.perf_counter()
+            result, stats, notes, holds = _run_task(task, caches,
+                                                    operators, broadcasts)
+            duration = time.perf_counter() - t0
+            if stats is None:  # cache miss: ask the driver to re-ship
+                conn.send(("miss", task_id, result))
+                continue
+            counters, metrics = _export_stats(stats)
+            spans = None
+            if task.get("trace"):
+                spans = [("mp:task", "mp",
+                          {"kind": task["kind"],
+                           "label": task.get("label", ""),
+                           "partition": task.get("partition", -1),
+                           "worker": worker_id},
+                          wall_start, duration)]
+            conn.send(("ok", task_id, result, counters, metrics, spans,
+                       notes))
+        except SystemExit:
+            raise
+        except BaseException:
+            import traceback
+
+            try:
+                conn.send(("err", task_id, traceback.format_exc()))
+            except (OSError, ValueError):
+                break
+        finally:
+            # Inline shared-memory inputs are dead once the reply is
+            # out; close them so fds don't accumulate.  BufferError
+            # means a view escaped into the cache — leave it mapped.
+            result = stats = None
+            for seg in holds:
+                if seg is not None:
+                    try:
+                        seg.close()
+                    except BufferError:
+                        pass
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Driver-side pool
+# ----------------------------------------------------------------------
+class _Worker:
+    __slots__ = ("id", "proc", "conn", "last_activity")
+
+    def __init__(self, wid: int, proc, conn):
+        self.id = wid
+        self.proc = proc
+        self.conn = conn
+        self.last_activity = time.monotonic()
+
+
+class ProcessPool:
+    """Lazily grown, process-global pool of spawned workers.
+
+    Shared by every :class:`ProcessPoolBackend` (worker block caches
+    namespace their keys by backend id); lives until interpreter exit.
+    """
+
+    def __init__(self):
+        self.workers: list[_Worker] = []
+        self.lock = threading.Lock()
+
+    def _spawn(self, wid: int) -> _Worker:
+        import os
+        import sys
+
+        parent_conn, child_conn = _SPAWN.Pipe(duplex=True)
+        proc = _SPAWN.Process(target=_worker_main, args=(child_conn, wid),
+                              name=f"repro-mp-{wid}", daemon=True)
+        # Spawn preparation re-executes the parent's __main__ by path;
+        # an interactive/stdin main ("<stdin>") has no re-runnable file
+        # and would kill every worker at startup.  The worker target
+        # lives in this importable module, so __main__ is not needed —
+        # hide the bogus path for the duration of the start.
+        main = sys.modules.get("__main__")
+        main_path = getattr(main, "__file__", None)
+        hide = main_path is not None and not os.path.exists(main_path)
+        try:
+            if hide:
+                del main.__file__
+            proc.start()
+        finally:
+            if hide:
+                main.__file__ = main_path
+        child_conn.close()
+        return _Worker(wid, proc, parent_conn)
+
+    def ensure(self, n: int) -> list[_Worker]:
+        with self.lock:
+            # Replace workers that died between operators (e.g. killed
+            # by fault injection after their run was aborted) silently:
+            # no task was lost, so this is not a counted respawn.
+            for wid, worker in enumerate(self.workers[:n]):
+                if not worker.proc.is_alive():
+                    try:
+                        worker.conn.close()
+                    except OSError:
+                        pass
+                    self.workers[wid] = self._spawn(wid)
+            while len(self.workers) < n:
+                self.workers.append(self._spawn(len(self.workers)))
+            return self.workers[:n]
+
+    def respawn(self, wid: int) -> _Worker:
+        with self.lock:
+            old = self.workers[wid]
+            try:
+                old.conn.close()
+            except OSError:
+                pass
+            if old.proc.is_alive():
+                old.proc.terminate()
+            old.proc.join(timeout=5.0)
+            fresh = self._spawn(wid)
+            self.workers[wid] = fresh
+            return fresh
+
+    def broadcast(self, message) -> None:
+        """Best-effort send to every live worker (prune/free)."""
+        with self.lock:
+            workers = list(self.workers)
+        for worker in workers:
+            try:
+                worker.conn.send(message)
+            except (OSError, ValueError):
+                pass
+
+    def shutdown(self) -> None:
+        with self.lock:
+            workers, self.workers = self.workers, []
+        for worker in workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in workers:
+            worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+
+_POOL: ProcessPool | None = None
+_POOL_LOCK = threading.Lock()
+
+
+def shared_pool() -> ProcessPool:
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ProcessPool()
+            atexit.register(_POOL.shutdown)
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Stop all worker processes (tests / explicit teardown)."""
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Backend
+# ----------------------------------------------------------------------
+class ProcessPoolBackend:
+    """Ships SparkExecutor partition tasks to the worker pool.
+
+    One instance per SparkExecutor; created when
+    ``config.distributed_backend == "multiprocess"``.  All methods are
+    called with the executor's stats lock held (the Spark run path is
+    serialized), so counter updates are plain attribute bumps.
+    """
+
+    _IDS = itertools.count(1)
+
+    def __init__(self, config, stats):
+        self.config = config
+        self.stats = stats
+        self.backend_id = next(self._IDS)
+        # (lineage_key, p) -> set of worker ids caching that block.
+        self._locations: dict[tuple, set] = {}
+        # lineage_key -> weakref guard for ("data", id) input keys: an
+        # address-reused block must never alias a dead lineage entry.
+        self._guards: dict = {}
+        self._bids = itertools.count(1)
+        self._inject: deque = deque()
+
+    # -- public knobs --------------------------------------------------
+    def resolve_workers(self) -> int:
+        import os
+
+        if self.config.mp_workers > 0:
+            return self.config.mp_workers
+        return min(4, os.cpu_count() or 1)
+
+    def inject_failure(self, mode: str, count: int = 1) -> None:
+        """Arm deterministic fault injection: the next ``count``
+        first-attempt task dispatches carry ``mode`` ('die' or 'hang')."""
+        if mode not in ("die", "hang"):
+            raise ValueError(f"unknown injection mode {mode!r}")
+        self._inject.extend([mode] * count)
+
+    # -- SparkExecutor entry points ------------------------------------
+    def run_map(self, spec: tuple, main_blocked, plans: list,
+                main_key, output_key) -> list:
+        """Per-partition basic-hop execution (map and reduce partials)."""
+        from repro.runtime import ops as rops
+
+        sides: list = []
+        compiled = []
+        for mode, value in plans:
+            if mode == "whole":
+                compiled.append(("bcast", len(sides)))
+                sides.append(value)
+            else:
+                compiled.append((mode, value))
+        protos = []
+        for p, (r0, r1) in enumerate(main_blocked.bounds):
+            inputs = []
+            for mode, value in compiled:
+                if mode == "main":
+                    inputs.append(("block", main_key, p,
+                                   main_blocked.blocks[p]))
+                elif mode == "zip":
+                    inputs.append(("block", getattr(value, "mp_key", None),
+                                   p, value.blocks[p]))
+                elif mode == "slice":
+                    inputs.append(("value",
+                                   rops.rix(value, r0, r1, 0, value.cols)))
+                else:
+                    inputs.append((mode, value))  # ("bcast", i)
+            protos.append({
+                "kind": "hop", "spec": spec, "inputs": inputs,
+                "cache_as": (output_key, p) if output_key is not None
+                else None,
+                "label": spec[0], "partition": p,
+            })
+        return self._execute(protos, sides, None)
+
+    def run_spoof(self, operator, values: list, sliceable: set,
+                  main_index: int, main_blocked, main_key,
+                  output_key, use_kernel: list) -> list:
+        """Per-partition generated-operator execution."""
+        from repro.runtime import ops as rops
+
+        sides: list = []
+        compiled = []
+        for idx, value in enumerate(values):
+            if idx == main_index:
+                compiled.append(("main", None))
+            elif idx in sliceable:
+                compiled.append(("slice", value))
+            else:
+                compiled.append(("bcast", len(sides)))
+                sides.append(value)
+        protos = []
+        for p, (r0, r1) in enumerate(main_blocked.bounds):
+            inputs = []
+            for mode, value in compiled:
+                if mode == "main":
+                    inputs.append(("block", main_key, p,
+                                   main_blocked.blocks[p]))
+                elif mode == "slice":
+                    inputs.append(("value",
+                                   rops.rix(value, r0, r1, 0, value.cols)))
+                else:
+                    inputs.append((mode, value))
+            protos.append({
+                "kind": "spoof", "op_name": operator.name,
+                "use_kernel": use_kernel[p], "inputs": inputs,
+                "cache_as": (output_key, p) if output_key is not None
+                else None,
+                "label": operator.name, "partition": p,
+            })
+        payload = ("operator", operator.name, operator.source,
+                   operator.cplan, self.config.inline_primitives)
+        return self._execute(protos, sides, payload)
+
+    def roundtrip(self, values: list, force_shm: bool = False) -> list:
+        """Ship ``values`` to one worker and back through the real
+        transport (contract-test hook)."""
+        protos = [{"kind": "echo",
+                   "inputs": [("value", v) for v in values],
+                   "cache_as": None, "label": "echo", "partition": 0}]
+        return self._execute(protos, [], None, force_shm=force_shm)[0]
+
+    def prune(self, live_epoch) -> None:
+        """Forget locality entries (and worker cache blocks) whose
+        lineage epoch ended — mirrors SparkExecutor.prune_cache."""
+        for loc_key in list(self._locations):
+            key = loc_key[0]
+            guard = self._guards.get(key)
+            dead = (
+                guard() is None if guard is not None
+                else isinstance(key, tuple) and key and key[0] == "v"
+                and (live_epoch is None or key[1] < live_epoch)
+            )
+            if dead:
+                del self._locations[loc_key]
+        for key in list(self._guards):
+            if self._guards[key]() is None:
+                del self._guards[key]
+        if _POOL is not None:
+            _POOL.broadcast(("prune", self.backend_id, live_epoch))
+
+    # -- internals -----------------------------------------------------
+    def _worker_config(self):
+        return dataclass_replace(
+            self.config,
+            distributed_backend="simulated",
+            lockset_debug=False,
+            trace_level="off",
+        )
+
+    def register_guard(self, key, source) -> None:
+        """Pin a ``("data", id)`` lineage key to its source object.
+
+        Identity keys alias once the source dies and its address is
+        reused; the weakref guard (same discipline as the driver's RDD
+        cache) invalidates every worker-cache location for the key the
+        moment the source is gone.  Called by ``SparkExecutor`` when it
+        partitions a driver-side input.
+        """
+        if not (isinstance(key, tuple) and key and key[0] == "data"):
+            return
+        guard = self._guards.get(key)
+        if guard is not None and guard() is not None:
+            return
+        try:
+            self._guards[key] = weakref.ref(source)
+        except TypeError:
+            self._guards.pop(key, None)
+
+    def _location_hit(self, key, p: int, wid: int) -> bool:
+        if key is None:
+            return False
+        wids = self._locations.get((key, p))
+        if not wids or wid not in wids:
+            return False
+        if isinstance(key, tuple) and key and key[0] == "data":
+            guard = self._guards.get(key)
+            if guard is None or guard() is None:
+                # The guarded input died (or its address was reused):
+                # the worker's cached block belongs to a dead lineage.
+                self._drop_location(key)
+                return False
+        return True
+
+    def _note_location(self, key, p: int, wid: int) -> None:
+        if key is None:
+            return
+        if (isinstance(key, tuple) and key and key[0] == "data"
+                and key not in self._guards):
+            # No liveness guard registered for this identity key: a
+            # cached copy could silently alias a future object at the
+            # same address, so never remember it.
+            return
+        self._locations.setdefault((key, p), set()).add(wid)
+
+    def _drop_location(self, key) -> None:
+        for loc_key in [k for k in self._locations if k[0] == key]:
+            del self._locations[loc_key]
+        self._guards.pop(key, None)
+
+    def _drop_worker_locations(self, wid: int) -> None:
+        for loc_key in list(self._locations):
+            wids = self._locations[loc_key]
+            wids.discard(wid)
+            if not wids:
+                del self._locations[loc_key]
+
+    def _execute(self, protos: list, sides: list, operator_payload,
+                 force_shm: bool = False) -> list:
+        from repro.runtime import parallel as parallel_mod
+
+        if not protos:
+            return []
+        config = self.config
+        stats = self.stats
+        budget = parallel_mod.shared_budget()
+        n_workers = self.resolve_workers()
+        granted = budget.acquire(min(n_workers, len(protos)), minimum=1,
+                                 limit=config.thread_budget or None)
+        segments: list = []
+        bid = (self.backend_id, next(self._bids))
+        state: dict | None = None
+        try:
+            pool = shared_pool()
+            active = {w.id: w for w in pool.ensure(granted)}
+            stats.mp_max_workers = max(stats.mp_max_workers, len(active))
+            self._drain_stale(active)
+
+            # Encode side inputs once; every worker attaches the same
+            # shared-memory segments (one-time broadcast per operator).
+            side_descs = []
+            for value in sides:
+                desc, shm_b, pkl_b = encode_value(value, segments,
+                                                  force_shm)
+                stats.mp_shm_bytes += shm_b
+                stats.mp_pickle_bytes += pkl_b
+                side_descs.append(desc)
+
+            worker_config = self._worker_config()
+            trace = getattr(stats.tracer, "_events", None) is not None
+
+            # Locality-aware assignment: a partition whose main block
+            # already sits in a worker's cache goes to that worker.
+            queues: dict[int, deque] = {wid: deque() for wid in active}
+            rr = itertools.cycle(sorted(active))
+            entries = []
+            for index, proto in enumerate(protos):
+                entry = {"index": index, "proto": proto, "attempts": 0}
+                entries.append(entry)
+                wid = self._preferred_worker(proto, active)
+                queues[wid if wid is not None else next(rr)].append(entry)
+
+            state = {
+                "pool": pool, "active": active, "queues": queues,
+                "inflight": {wid: [] for wid in active}, "pending": {},
+                "setup_sent": set(), "segments": segments,
+                "side_descs": side_descs, "bid": bid,
+                "operator_payload": operator_payload,
+                "worker_config": worker_config, "trace": trace,
+                "force_shm": force_shm,
+            }
+            for wid in list(active):
+                self._send_next(wid, state)
+
+            results: list = [None] * len(protos)
+            remaining = len(protos)
+            while remaining:
+                remaining -= self._pump(state, results)
+            return results
+        except BaseException:
+            if state is not None:
+                self._sanitize_pool(state)
+            raise
+        finally:
+            budget.release(granted)
+            if _POOL is not None:
+                _POOL.broadcast(("free", [bid]))
+            for seg in segments:
+                try:
+                    seg.close()
+                    seg.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
+
+    def _preferred_worker(self, proto: dict, active: dict):
+        for desc in proto["inputs"]:
+            if desc[0] != "block":
+                continue
+            _, key, p, value = desc
+            if key is None:
+                continue
+            for wid in self._locations.get((key, p), ()):
+                if wid in active and self._location_hit(key, p, wid):
+                    return wid
+        return None
+
+    def _send_next(self, wid: int, state: dict) -> None:
+        queues, inflight = state["queues"], state["inflight"]
+        while queues[wid] and len(inflight[wid]) < _MAX_INFLIGHT:
+            entry = queues[wid].popleft()
+            try:
+                self._dispatch(wid, entry, state)
+            except (OSError, ValueError):
+                queues[wid].appendleft(entry)
+                self._fail_worker(wid, "send failed", state)
+                return
+            inflight[wid].append(entry)
+            state["pending"][entry["task_id"]] = (wid, entry)
+
+    def _dispatch(self, wid: int, entry: dict, state: dict) -> None:
+        stats = self.stats
+        worker = state["active"][wid]
+        if wid not in state["setup_sent"]:
+            if state["operator_payload"] is not None:
+                worker.conn.send(state["operator_payload"])
+            if state["side_descs"]:
+                worker.conn.send(("bcast", state["bid"],
+                                  state["side_descs"]))
+                stats.n_mp_broadcasts += 1
+            state["setup_sent"].add(wid)
+
+        proto = entry["proto"]
+        inputs = []
+        for desc in proto["inputs"]:
+            tag = desc[0]
+            if tag == "value":
+                enc, shm_b, pkl_b = encode_value(desc[1],
+                                                 state["segments"],
+                                                 state["force_shm"])
+                stats.mp_shm_bytes += shm_b
+                stats.mp_pickle_bytes += pkl_b
+                inputs.append(("value", enc))
+            elif tag == "block":
+                _, key, p, value = desc
+                if key is None:
+                    enc, shm_b, pkl_b = encode_value(value,
+                                                     state["segments"],
+                                                     state["force_shm"])
+                    stats.mp_shm_bytes += shm_b
+                    stats.mp_pickle_bytes += pkl_b
+                    inputs.append(("value", enc))
+                    continue
+                wkey = (self.backend_id, key, p)
+                if self._location_hit(key, p, wid):
+                    stats.n_mp_locality_hits += 1
+                    inputs.append(("block", wkey, None))
+                else:
+                    enc, shm_b, pkl_b = encode_value(value,
+                                                     state["segments"],
+                                                     state["force_shm"])
+                    stats.mp_shm_bytes += shm_b
+                    stats.mp_pickle_bytes += pkl_b
+                    stats.n_mp_block_ships += 1
+                    self._note_location(key, p, wid)
+                    inputs.append(("block", wkey, enc))
+            else:  # ("bcast", i)
+                inputs.append(("bcast", state["bid"], desc[1]))
+
+        task_id = next(_TASK_IDS)
+        entry["task_id"] = task_id
+        cache_as = proto.get("cache_as")
+        if cache_as is not None:
+            cache_as = (self.backend_id, cache_as[0], cache_as[1])
+        task = {
+            "id": task_id,
+            "kind": proto["kind"],
+            "inputs": inputs,
+            "cache_as": cache_as,
+            "cache_bytes": self.config.mp_worker_cache_bytes,
+            "config": state["worker_config"],
+            "trace": state["trace"],
+            "label": proto.get("label", ""),
+            "partition": proto.get("partition", -1),
+        }
+        if proto["kind"] == "hop":
+            task["spec"] = proto["spec"]
+        elif proto["kind"] == "spoof":
+            task["op_name"] = proto["op_name"]
+            task["use_kernel"] = proto["use_kernel"]
+        if self._inject:
+            # Armed fault injection: each armed fault fells exactly one
+            # task *dispatch* (so retries can be made to fail too, which
+            # is how the retry-exhaustion path is tested).
+            task["inject"] = self._inject.popleft()
+        worker.conn.send(("task", task))
+        worker.last_activity = time.monotonic()
+
+    def _pump(self, state: dict, results: list) -> int:
+        """Wait for one round of events; returns completed-task count."""
+        config = self.config
+        active, inflight = state["active"], state["inflight"]
+        conn_map, sentinel_map = {}, {}
+        deadline = None
+        for wid, worker in active.items():
+            if not inflight[wid]:
+                continue
+            conn_map[worker.conn] = wid
+            sentinel_map[worker.proc.sentinel] = wid
+            worker_deadline = worker.last_activity + config.mp_task_timeout
+            deadline = (worker_deadline if deadline is None
+                        else min(deadline, worker_deadline))
+        if not conn_map:
+            raise RuntimeExecError(
+                "multiprocess backend stalled: tasks queued but no "
+                "worker holds any in-flight task"
+            )
+        timeout = max(0.0, deadline - time.monotonic())
+        ready = mp_connection.wait(
+            list(conn_map) + list(sentinel_map), timeout=timeout
+        )
+        completed = 0
+        if not ready:
+            now = time.monotonic()
+            for wid in list(active):
+                worker = active[wid]
+                if inflight[wid] and (
+                    now - worker.last_activity > config.mp_task_timeout
+                ):
+                    self._fail_worker(wid, "task timeout", state)
+            return 0
+        for obj in ready:
+            if obj in sentinel_map:
+                wid = sentinel_map[obj]
+                worker = active.get(wid)
+                if worker is not None and worker.proc.sentinel == obj:
+                    self._fail_worker(wid, "worker died", state)
+                continue
+            wid = conn_map[obj]
+            worker = active.get(wid)
+            if worker is None or worker.conn is not obj:
+                continue  # worker was replaced this round
+            completed += self._drain_worker(wid, state, results)
+        return completed
+
+    def _drain_worker(self, wid: int, state: dict, results: list) -> int:
+        worker = state["active"][wid]
+        completed = 0
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return completed
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                self._fail_worker(wid, "connection lost", state)
+                return completed
+            worker.last_activity = time.monotonic()
+            tag = msg[0]
+            if tag == "ok":
+                completed += self._handle_ok(wid, msg, state, results)
+            elif tag == "miss":
+                self._handle_miss(wid, msg, state)
+            elif tag == "err":
+                _, task_id, tb = msg
+                if task_id in state["pending"]:
+                    raise RuntimeExecError(
+                        f"multiprocess worker {wid} task failed:\n{tb}"
+                    )
+
+    def _handle_ok(self, wid: int, msg, state: dict, results: list) -> int:
+        _, task_id, payload, counters, metrics, spans, notes = msg
+        pending = state["pending"].pop(task_id, None)
+        if pending is None:
+            return 0  # stale result from an aborted operator
+        _, entry = pending
+        state["inflight"][wid].remove(entry)
+        results[entry["index"]] = payload
+        stats = self.stats
+        stats.n_mp_tasks += 1
+        cache_as = entry["proto"].get("cache_as")
+        if cache_as is not None:
+            self._note_location(cache_as[0], cache_as[1], wid)
+        for wkey in notes:
+            # Worker-side LRU evictions: forget stale locality entries.
+            if wkey[0] == self.backend_id:
+                loc = self._locations.get((wkey[1], wkey[2]))
+                if loc is not None:
+                    loc.discard(wid)
+                    if not loc:
+                        del self._locations[(wkey[1], wkey[2])]
+        if counters:
+            self._merge_worker_stats(counters, metrics)
+        if spans:
+            self._inject_spans(spans, wid)
+        self._send_next(wid, state)
+        return 1
+
+    def _handle_miss(self, wid: int, msg, state: dict) -> None:
+        """Worker no longer caches a block we assumed it held: drop the
+        locality entry and re-dispatch with the full payload."""
+        _, task_id, wkey = msg
+        pending = state["pending"].pop(task_id, None)
+        loc = self._locations.get((wkey[1], wkey[2]))
+        if loc is not None:
+            loc.discard(wid)
+            if not loc:
+                del self._locations[(wkey[1], wkey[2])]
+        if pending is None:
+            return
+        _, entry = pending
+        state["inflight"][wid].remove(entry)
+        state["queues"][wid].appendleft(entry)
+        self._send_next(wid, state)
+
+    def _fail_worker(self, wid: int, reason: str, state: dict) -> None:
+        """Replace a lost worker and re-dispatch its tasks.
+
+        Lost in-flight tasks are recomputed from their retained specs —
+        lineage-keyed outputs count as ``n_lineage_recomputes`` — and
+        every locality entry pointing at the dead process is dropped,
+        so its lost cache re-ships from the driver on next use.
+        """
+        stats = self.stats
+        active, inflight = state["active"], state["inflight"]
+        stats.n_worker_respawns += 1
+        lost = list(inflight[wid])
+        inflight[wid] = state["inflight"][wid] = []
+        for entry in lost:
+            state["pending"].pop(entry.get("task_id"), None)
+            entry["attempts"] += 1
+            if entry["attempts"] > self.config.mp_max_retries:
+                raise RuntimeExecError(
+                    f"multiprocess task {entry['proto'].get('label')} "
+                    f"failed after {entry['attempts']} attempts "
+                    f"({reason})"
+                )
+            stats.n_task_retries += 1
+            if entry["proto"].get("cache_as") is not None:
+                stats.n_lineage_recomputes += 1
+        self._drop_worker_locations(wid)
+        state["setup_sent"].discard(wid)
+        active[wid] = state["pool"].respawn(wid)
+        targets = sorted(w for w in active if w != wid) or [wid]
+        for i, entry in enumerate(lost):
+            state["queues"][targets[i % len(targets)]].append(entry)
+        for target in dict.fromkeys(targets + [wid]):
+            self._send_next(target, state)
+
+    def _sanitize_pool(self, state: dict) -> None:
+        """An operator that failed mid-flight leaves dispatched tasks
+        in worker pipes; a worker may still execute one — or die on an
+        injected fault — *after* the error unwinds, polluting the next
+        operator's failure counters. Replace every worker holding
+        outstanding work; the run already failed, so these are hygiene
+        respawns, not counted ones."""
+        for wid, entries in state["inflight"].items():
+            if not entries:
+                continue
+            self._drop_worker_locations(wid)
+            try:
+                state["active"][wid] = state["pool"].respawn(wid)
+            except (OSError, ValueError):
+                pass
+
+    def _drain_stale(self, active: dict) -> None:
+        """Discard leftovers from a previous aborted operator."""
+        for worker in active.values():
+            try:
+                while worker.conn.poll():
+                    worker.conn.recv()
+            except (EOFError, OSError):
+                continue
+
+    # -- stats / span merge-back ---------------------------------------
+    def _merge_worker_stats(self, counters: dict, metrics) -> None:
+        from repro.runtime.stats import RuntimeStats
+
+        fresh = RuntimeStats()
+        for name, value in counters.items():
+            if hasattr(fresh, name):
+                setattr(fresh, name, value)
+        self.stats.merge(fresh)
+        if metrics:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = self.stats.metrics
+            for kind, name, cells in metrics:
+                cls = MetricsRegistry._CLASSES.get(kind)
+                if cls is None:
+                    continue
+                shadow = cls(name, threading.Lock())
+                shadow._cells = cells
+                registry._get(kind, name)._merge(shadow)
+
+    def _inject_spans(self, spans, wid: int) -> None:
+        tracer = self.stats.tracer
+        if getattr(tracer, "_events", None) is None:
+            return
+        from repro.obs.trace import Span
+
+        # Map worker wall-clock timestamps onto the driver tracer's
+        # perf_counter origin (best effort: clocks are the same host's).
+        origin_wall = time.time() - (time.perf_counter() - tracer._origin)
+        for name, cat, args, wall_start, duration in spans:
+            span = Span(tracer, name, cat, dict(args))
+            span.start = wall_start - origin_wall
+            span.duration = duration
+            span.tid = 1_000_000 + wid
+            span.depth = 0
+            tracer._append(span)

@@ -179,6 +179,10 @@ def _strategy_configs() -> dict[str, CodegenConfig]:
         "intra-op-4": CodegenConfig(intra_op_threads=4, intra_op_min_cells=1),
         "spark": CodegenConfig(cluster=ClusterConfig(),
                                local_mem_budget=1e4),
+        "spark-mp": CodegenConfig(cluster=ClusterConfig(),
+                                  local_mem_budget=1e4,
+                                  distributed_backend="multiprocess",
+                                  mp_workers=2),
         "verified": CodegenConfig(intra_op_threads=1, verify_level="full"),
     }
 
@@ -196,9 +200,11 @@ def test_execution_strategies_agree_on_random_dags(dag):
         as_array(v)
         for v in api.eval_all(build(), engine=Engine(mode="base"))
     ]
+    by_strategy = {}
     for name, config in _strategy_configs().items():
         engine = Engine(mode="gen", config=config)
         results = [as_array(v) for v in api.eval_all(build(), engine=engine)]
+        by_strategy[name] = results
         assert len(results) == len(reference)
         for idx, (expected, actual) in enumerate(zip(reference, results)):
             np.testing.assert_allclose(
@@ -211,6 +217,14 @@ def test_execution_strategies_agree_on_random_dags(dag):
             assert engine.stats.n_verifier_findings == 0
             assert engine.stats.n_lint_rejects == 0
             assert engine.stats.n_verified_programs > 0
+    # The multiprocess backend replays the exact simulated per-partition
+    # kernels, so the two distributed backends must agree to the bit.
+    for idx, (sim, mp) in enumerate(
+        zip(by_strategy["spark"], by_strategy["spark-mp"])
+    ):
+        np.testing.assert_array_equal(
+            sim, mp, err_msg=f"spark vs spark-mp output={idx}"
+        )
 
 
 def _quantize_and_compress(leaves, seed):

@@ -342,17 +342,24 @@ SPARK_ALGO_MODES = ["base", "gen", "gen-fa"]
 
 class TestDistributedAlgorithms:
     """Spark-mode execution is numerically equivalent to local for all
-    six algorithms of the paper's evaluation."""
+    six algorithms of the paper's evaluation — under both the simulated
+    and the real multiprocess distributed backend."""
 
     @staticmethod
-    def _spark_engine(mode="gen"):
+    def _spark_engine(mode="gen", backend="simulated"):
         return Engine(
             mode=mode,
             config=CodegenConfig(
                 cluster=ClusterConfig(n_workers=4, executor_mem=10e6),
                 local_mem_budget=2e4,
+                distributed_backend=backend,
+                mp_workers=2,
             ),
         )
+
+    @pytest.fixture(scope="class", params=["simulated", "multiprocess"])
+    def backend(self, request):
+        return request.param
 
     @pytest.fixture(scope="class")
     def data(self):
@@ -361,52 +368,56 @@ class TestDistributedAlgorithms:
         return generators.classification_data(400, 12, n_classes=2, seed=1)
 
     @pytest.mark.parametrize("mode", SPARK_ALGO_MODES)
-    def test_l2svm(self, data, mode):
+    def test_l2svm(self, data, mode, backend):
         from repro.algorithms import l2svm
 
         x, y = data
         ref = l2svm(x, y, engine=Engine(mode="base"), max_iter=3)
-        got = l2svm(x, y, engine=self._spark_engine(mode), max_iter=3)
+        got = l2svm(x, y, engine=self._spark_engine(mode, backend),
+                    max_iter=3)
         np.testing.assert_allclose(
             got.model["w"].to_dense(), ref.model["w"].to_dense(),
             rtol=1e-6, atol=1e-9,
         )
 
-    def test_mlogreg(self, data):
+    def test_mlogreg(self, data, backend):
         from repro.algorithms import mlogreg
 
         x, y = data
         labels = (y.to_dense() + 3) / 2
         ref = mlogreg(x, labels, 2, engine=Engine(mode="base"),
                       max_iter=2, max_inner=3)
-        got = mlogreg(x, labels, 2, engine=self._spark_engine(),
+        got = mlogreg(x, labels, 2,
+                      engine=self._spark_engine(backend=backend),
                       max_iter=2, max_inner=3)
         np.testing.assert_allclose(
             got.model["beta"].to_dense(), ref.model["beta"].to_dense(),
             rtol=1e-6, atol=1e-9,
         )
 
-    def test_glm(self, data):
+    def test_glm(self, data, backend):
         from repro.algorithms import glm_binomial_probit
 
         x, y = data
         yb = (y.to_dense() + 1) / 2
         ref = glm_binomial_probit(x, yb, engine=Engine(mode="base"),
                                   max_iter=2, max_inner=3)
-        got = glm_binomial_probit(x, yb, engine=self._spark_engine(),
+        got = glm_binomial_probit(x, yb,
+                                  engine=self._spark_engine(backend=backend),
                                   max_iter=2, max_inner=3)
         np.testing.assert_allclose(
             got.model["beta"].to_dense(), ref.model["beta"].to_dense(),
             rtol=1e-6, atol=1e-9,
         )
 
-    def test_kmeans(self, data):
+    def test_kmeans(self, data, backend):
         from repro.algorithms import kmeans
 
         x, _ = data
         ref = kmeans(x, n_centroids=4, engine=Engine(mode="base"),
                      max_iter=3, seed=5)
-        got = kmeans(x, n_centroids=4, engine=self._spark_engine(),
+        got = kmeans(x, n_centroids=4,
+                     engine=self._spark_engine(backend=backend),
                      max_iter=3, seed=5)
         np.testing.assert_allclose(
             got.model["centroids"].to_dense(),
@@ -414,27 +425,29 @@ class TestDistributedAlgorithms:
             rtol=1e-6, atol=1e-9,
         )
 
-    def test_als_cg(self):
+    def test_als_cg(self, backend):
         from repro.algorithms import als_cg
 
         x = MatrixBlock.rand(300, 40, sparsity=0.1, seed=9,
                              low=0.2, high=1.0)
         ref = als_cg(x, rank=4, engine=Engine(mode="base"), max_iter=2)
-        got = als_cg(x, rank=4, engine=self._spark_engine(), max_iter=2)
+        got = als_cg(x, rank=4, engine=self._spark_engine(backend=backend),
+                     max_iter=2)
         for factor in ("U", "V"):
             np.testing.assert_allclose(
                 got.model[factor].to_dense(), ref.model[factor].to_dense(),
                 rtol=1e-6, atol=1e-9,
             )
 
-    def test_autoencoder(self):
+    def test_autoencoder(self, backend):
         from repro.algorithms import autoencoder
         from repro.data import generators
 
         x = generators.mnist_like(rows=600, seed=3)
         ref = autoencoder(x, h1=16, h2=2, engine=Engine(mode="base"),
                           batch_size=256, n_epochs=1)
-        got = autoencoder(x, h1=16, h2=2, engine=self._spark_engine(),
+        got = autoencoder(x, h1=16, h2=2,
+                          engine=self._spark_engine(backend=backend),
                           batch_size=256, n_epochs=1)
         np.testing.assert_allclose(
             got.model["W1"].to_dense(), ref.model["W1"].to_dense(),
